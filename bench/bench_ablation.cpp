@@ -1,0 +1,22 @@
+// Runs the ablation studies of DESIGN.md Sec. 4: wireline buffer sizing,
+// NSA-vs-SA hand-off signalling, DRX tail length, and congestion-control
+// robustness under ambient burst loss.
+// Usage: bench_ablation [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  fiveg::core::ExperimentContext ctx;
+  ctx.out = &std::cout;
+  if (argc > 1) ctx.seed = std::strtoull(argv[1], nullptr, 10);
+  auto& registry = fiveg::core::ExperimentRegistry::instance();
+  int rc = 0;
+  for (const char* name :
+       {"ablation_buffer_sizing", "ablation_sa_handoff",
+        "ablation_tail_timer", "ablation_cc_robustness"}) {
+    if (!registry.run(name, ctx)) rc = 1;
+  }
+  return rc;
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Section 8 DSL comparison (experiment id: dsl_replacement).
+// Usage: bench_dsl [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("dsl_replacement", argc, argv);
+}

@@ -1,0 +1,8 @@
+// Regenerates the measurement-report event mix of Sec. 3.4 / Table 5
+// (experiment id: ho_event_mix).
+// Usage: bench_event_mix [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("ho_event_mix", argc, argv);
+}

@@ -1,0 +1,23 @@
+// Runs the extension studies: the paper's discussion/future-work
+// directions built out (CoDel AQM, MEC placement, deterministic-start
+// transport, SA energy, indoor micro-cells, hand-off trigger tuning).
+// Usage: bench_extensions [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  fiveg::core::ExperimentContext ctx;
+  ctx.out = &std::cout;
+  if (argc > 1) ctx.seed = std::strtoull(argv[1], nullptr, 10);
+  auto& registry = fiveg::core::ExperimentRegistry::instance();
+  int rc = 0;
+  for (const char* name :
+       {"ext_codel_aqm", "ext_mec", "ext_faststart_web", "ext_sa_energy",
+        "ext_indoor_microcell", "ext_ho_tuning", "ext_multipath",
+        "ext_abr_video", "ext_densification", "ext_cell_load"}) {
+    if (!registry.run(name, ctx)) rc = 1;
+  }
+  return rc;
+}

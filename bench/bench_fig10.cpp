@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 10 (experiment id: fig10_harq_retx).
+// Usage: bench_fig10 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig10_harq_retx", argc, argv);
+}

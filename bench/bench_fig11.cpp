@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 11 (experiment id: fig11_bursty_loss).
+// Usage: bench_fig11 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig11_bursty_loss", argc, argv);
+}

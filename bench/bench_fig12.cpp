@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 12 (experiment id: fig12_ho_throughput).
+// Usage: bench_fig12 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig12_ho_throughput", argc, argv);
+}

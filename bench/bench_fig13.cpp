@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 13 (experiment id: fig13_rtt_scatter).
+// Usage: bench_fig13 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig13_rtt_scatter", argc, argv);
+}

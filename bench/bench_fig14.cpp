@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 14 (experiment id: fig14_hop_breakdown).
+// Usage: bench_fig14 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig14_hop_breakdown", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 15 (experiment id: fig15_rtt_distance).
+// Usage: bench_fig15 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig15_rtt_distance", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Figures 16 and 17 (experiment id: fig16_17_web).
+// Usage: bench_fig16_17 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig16_17_web", argc, argv);
+}

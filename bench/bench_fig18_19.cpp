@@ -1,0 +1,7 @@
+// Regenerates the paper's Figures 18 and 19 (experiment id: fig18_19_video_tput).
+// Usage: bench_fig18_19 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig18_19_video_tput", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 2 (experiment id: fig2_coverage_map).
+// Usage: bench_fig2 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig2_coverage_map", argc, argv);
+}

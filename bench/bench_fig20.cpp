@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 20 (experiment id: fig20_frame_delay).
+// Usage: bench_fig20 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig20_frame_delay", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 21 (experiment id: fig21_energy_apps).
+// Usage: bench_fig21 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig21_energy_apps", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 22 (experiment id: fig22_energy_per_bit).
+// Usage: bench_fig22 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig22_energy_per_bit", argc, argv);
+}

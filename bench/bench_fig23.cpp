@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 23 (experiment id: fig23_power_trace).
+// Usage: bench_fig23 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig23_power_trace", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 3 (experiment id: fig3_indoor_outdoor).
+// Usage: bench_fig3 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig3_indoor_outdoor", argc, argv);
+}

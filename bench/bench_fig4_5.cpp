@@ -1,0 +1,7 @@
+// Regenerates the paper's Figures 4 and 5 (experiment id: fig4_5_ho_quality).
+// Usage: bench_fig4_5 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig4_5_ho_quality", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 6 (experiment id: fig6_ho_latency).
+// Usage: bench_fig6 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig6_ho_latency", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 7 (experiment id: fig7_throughput).
+// Usage: bench_fig7 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig7_throughput", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 8 (experiment id: fig8_cwnd).
+// Usage: bench_fig8 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig8_cwnd", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Figure 9 (experiment id: fig9_loss_vs_load).
+// Usage: bench_fig9 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("fig9_loss_vs_load", argc, argv);
+}

@@ -1,0 +1,84 @@
+// Micro-benchmarks of the simulator's hot paths (google-benchmark): event
+// queue churn, path-loss evaluation, cell sweeps, HARQ sampling and an
+// end-to-end TCP step. These guard the experiment suite's runtime.
+#include <benchmark/benchmark.h>
+
+#include "app/iperf.h"
+#include "core/scenario.h"
+#include "geo/campus.h"
+#include "net/path.h"
+#include "radio/pathloss.h"
+#include "ran/deployment.h"
+#include "ran/harq.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace fiveg;  // NOLINT: benchmark file brevity
+
+void BM_EventQueueChurn(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Time t = 0;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) q.schedule(++t, [&] { ++fired; });
+  for (auto _ : state) {
+    q.schedule(++t, [&] { ++fired; });
+    q.pop_and_run();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(BM_EventQueueChurn);
+
+void BM_PathLoss(benchmark::State& state) {
+  double d = 10.0;
+  for (auto _ : state) {
+    d = d > 500 ? 10.0 : d + 1.0;
+    benchmark::DoNotOptimize(radio::campus_pathloss_db(d, 3.5, false));
+  }
+}
+BENCHMARK(BM_PathLoss);
+
+void BM_CellSweep(benchmark::State& state) {
+  const geo::CampusMap campus = geo::make_campus(sim::Rng(42));
+  const ran::Deployment dep = ran::make_deployment(&campus, sim::Rng(7));
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    const geo::Point p = campus.random_point(rng);
+    benchmark::DoNotOptimize(dep.measure(radio::Rat::kNr, p));
+  }
+}
+BENCHMARK(BM_CellSweep);
+
+void BM_HarqSample(benchmark::State& state) {
+  const ran::HarqProcess harq(ran::lte_harq());
+  sim::Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(harq.sample_attempts(rng));
+  }
+}
+BENCHMARK(BM_HarqSample);
+
+void BM_TcpSimSecond(benchmark::State& state) {
+  // Cost of simulating one second of a 100 Mbps TCP flow.
+  for (auto _ : state) {
+    sim::Simulator simr;
+    std::vector<net::Link::Config> hops(2);
+    hops[0].rate_bps = 100e6;
+    hops[0].prop_delay = sim::from_millis(10);
+    hops[1].rate_bps = 10e9;
+    hops[1].prop_delay = sim::from_millis(10);
+    net::PathNetwork path(&simr, hops);
+    app::PathFanout fanout(&path);
+    app::TcpSession session(&simr, &path, &fanout,
+                            tcp::TcpConfig{.algo = tcp::CcAlgo::kBbr});
+    session.sender().start_bulk();
+    simr.run_until(sim::kSecond);
+    benchmark::DoNotOptimize(session.receiver().bytes_received());
+  }
+}
+BENCHMARK(BM_TcpSimSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

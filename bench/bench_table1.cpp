@@ -1,0 +1,7 @@
+// Regenerates the paper's Table 1 (experiment id: table1_phy_info).
+// Usage: bench_table1 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("table1_phy_info", argc, argv);
+}

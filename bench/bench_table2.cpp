@@ -1,0 +1,7 @@
+// Regenerates the paper's Table 2 (experiment id: table2_rsrp_distribution).
+// Usage: bench_table2 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("table2_rsrp_distribution", argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates the paper's Table 3 (experiment id: table3_buffer_sizing).
+// Usage: bench_table3 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("table3_buffer_sizing", argc, argv);
+}

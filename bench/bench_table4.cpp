@@ -1,0 +1,7 @@
+// Regenerates the paper's Table 4 (experiment id: table4_power_policies).
+// Usage: bench_table4 [seed]
+#include "core/experiment.h"
+
+int main(int argc, char** argv) {
+  return fiveg::core::run_experiment_main("table4_power_policies", argc, argv);
+}

@@ -1,0 +1,67 @@
+// 360TEL demo: a 30-second UHD panoramic video call pushed uplink over 5G
+// and over 4G, with the paper's codec pipeline. Prints QoE: throughput,
+// frame delay percentiles and freeze events.
+//
+//   ./example_video_call [resolution: 720p|1080p|4k|5.7k] [--dynamic]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "app/video.h"
+#include "core/scenario.h"
+#include "measure/table.h"
+
+int main(int argc, char** argv) {
+  using namespace fiveg;
+
+  app::Resolution res = app::Resolution::k4K;
+  bool dynamic = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "720p") res = app::Resolution::k720p;
+    if (arg == "1080p") res = app::Resolution::k1080p;
+    if (arg == "4k") res = app::Resolution::k4K;
+    if (arg == "5.7k") res = app::Resolution::k5p7K;
+    if (arg == "--dynamic") dynamic = true;
+  }
+
+  measure::TextTable t(
+      "360TEL: 30 s " + app::to_string(res) +
+          (dynamic ? " (dynamic scene)" : " (static scene)") + " call",
+      {"network", "recv Mbps", "median delay (s)", "p90 delay (s)",
+       "freezes", "frames"});
+  for (const radio::Rat rat : {radio::Rat::kNr, radio::Rat::kLte}) {
+    sim::Simulator simr;
+    core::TestbedOptions opt;
+    opt.rat = rat;
+    opt.direction = core::Direction::kUplink;
+    opt.cross_traffic = false;
+    core::Testbed bed(&simr, opt, /*seed=*/42);
+
+    app::VideoConfig cfg;
+    cfg.resolution = res;
+    cfg.dynamic_scene = dynamic;
+    cfg.transport.algo = tcp::CcAlgo::kBbr;
+    app::VideoTelephony call(&simr, &bed.path(), &bed.fanout(), cfg,
+                             sim::Rng(7).fork("call"));
+    call.start(30 * sim::kSecond);
+    simr.run_until(90 * sim::kSecond);
+
+    const app::VideoStats s = call.stats();
+    t.add_row({rat == radio::Rat::kNr ? "5G" : "4G",
+               measure::TextTable::num(s.mean_received_throughput_bps / 1e6, 1),
+               measure::TextTable::num(
+                   s.frame_delay_s.empty() ? 0 : s.frame_delay_s.quantile(0.5),
+                   2),
+               measure::TextTable::num(
+                   s.frame_delay_s.empty() ? 0 : s.frame_delay_s.quantile(0.9),
+                   2),
+               std::to_string(s.freeze_events),
+               std::to_string(s.frames_delivered) + "/" +
+                   std::to_string(s.frames_captured)});
+  }
+  t.print(std::cout);
+  std::cout << "paper: 4K runs ~0.95 s end-to-end on 5G — processing "
+               "(~650 ms) is 10x the network time; 4G chokes above 1080p\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+#include "app/web.h"
+
+#include <utility>
+
+#include "app/iperf.h"
+
+namespace fiveg::app {
+
+std::vector<WebPage> paper_pages() {
+  // Sizes and rendering costs for the Fig. 16 categories. Rendering is a
+  // device-compute property (identical across RATs); sizes are typical of
+  // 2019-era pages in each category.
+  return {
+      {"Search", 800 << 10, sim::from_millis(500)},
+      {"Image", 3 << 20, sim::from_millis(1200)},
+      {"Shopping", 5 << 20, sim::from_millis(1900)},
+      {"Map", 6 << 20, sim::from_millis(2700)},
+      {"Video", 8 << 20, sim::from_millis(2300)},
+  };
+}
+
+WebPage image_page(double megabytes) {
+  WebPage p;
+  p.category = "Image";
+  p.bytes = static_cast<std::uint64_t>(megabytes * (1 << 20));
+  // Image decode/layout grows with pixel count.
+  p.render_time = sim::from_millis(100.0 + 75.0 * megabytes);
+  return p;
+}
+
+struct WebBrowser::Impl {
+  sim::Simulator* sim;
+  net::PathNetwork* path;
+  PathFanout* fanout;
+  tcp::TcpConfig config;
+  std::uint32_t next_flow = 2000;
+  std::vector<std::unique_ptr<TcpSession>> sessions;
+};
+
+WebBrowser::WebBrowser(sim::Simulator* simulator, net::PathNetwork* path,
+                       PathFanout* fanout, tcp::TcpConfig config)
+    : impl_(new Impl{simulator, path, fanout, config, 2000, {}}) {}
+
+WebBrowser::~WebBrowser() = default;
+
+namespace {
+
+// Chains the page's object fetches over one connection: each round's data
+// must be fully delivered before the next request goes out, costing a
+// round trip — the HTTP dependency-chain behaviour that caps 5G's gain.
+struct PageLoad : std::enable_shared_from_this<PageLoad> {
+  sim::Simulator* sim = nullptr;
+  TcpSession* session = nullptr;
+  WebPage page;
+  std::function<void(PltResult)> done;
+  sim::Time start = 0;
+  int rounds_left = 0;
+  std::uint64_t bytes_per_round = 0;
+
+  void begin() {
+    start = sim->now();
+    rounds_left = std::max(1, page.sequential_objects);
+    bytes_per_round = std::max<std::uint64_t>(
+        1, page.bytes / static_cast<std::uint64_t>(rounds_left));
+    // TCP + TLS handshake: two tiny exchanges before any content.
+    auto self = shared_from_this();
+    session->sender().send_bytes(64, [self] {
+      self->session->sender().send_bytes(128, [self] { self->next_round(); });
+    });
+  }
+
+  void next_round() {
+    auto self = shared_from_this();
+    if (rounds_left == 0) {
+      const double download_s = sim::to_seconds(sim->now() - start);
+      const sim::Time render = page.render_time;
+      sim->schedule_in(render, [self, download_s, render] {
+        self->done(PltResult{download_s, sim::to_seconds(render)});
+      });
+      return;
+    }
+    --rounds_left;
+    session->sender().send_bytes(bytes_per_round,
+                                 [self] { self->next_round(); });
+  }
+};
+
+}  // namespace
+
+void WebBrowser::load(const WebPage& page, std::function<void(PltResult)> done) {
+  // Fresh connection per page (cache/cookies cleared, as in the paper).
+  auto session = std::make_unique<TcpSession>(impl_->sim, impl_->path,
+                                              impl_->fanout, impl_->config,
+                                              impl_->next_flow++);
+  TcpSession* raw = session.get();
+  impl_->sessions.push_back(std::move(session));
+
+  auto load = std::make_shared<PageLoad>();
+  load->sim = impl_->sim;
+  load->session = raw;
+  load->page = page;
+  load->done = std::move(done);
+  load->begin();
+}
+
+}  // namespace fiveg::app

@@ -1,0 +1,69 @@
+// Mobile web browsing model (Sec. 5.1): a page load is a fresh TCP
+// connection downloading the page body, followed by device-side rendering.
+// The paper's two findings are structural: rendering dominates PLT, and
+// TCP's slow-start transient ends before it can use 5G's bandwidth — both
+// fall out of this model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/path.h"
+#include "sim/simulator.h"
+#include "tcp/tcp_endpoint.h"
+
+namespace fiveg::app {
+
+struct PathFanout;  // from app/iperf.h
+
+/// One test page.
+struct WebPage {
+  std::string category;
+  std::uint64_t bytes = 1 << 20;  // transfer size
+  sim::Time render_time = 0;      // device-side rendering cost
+  // Pages are dependency chains, not one blob: the body references
+  // scripts/styles/images fetched in `sequential_objects` request rounds
+  // on the same connection. Each round costs a request RTT — the reason
+  // bandwidth alone cannot fix PLT.
+  int sequential_objects = 8;
+};
+
+/// The paper's five page categories (Fig. 16), with sizes and rendering
+/// costs calibrated so 4G/5G PLTs land on the reported bars.
+[[nodiscard]] std::vector<WebPage> paper_pages();
+
+/// An image page of `megabytes` (Fig. 17's 1..16 MB sweep).
+[[nodiscard]] WebPage image_page(double megabytes);
+
+/// Page-load-time breakdown.
+struct PltResult {
+  double download_s = 0.0;
+  double render_s = 0.0;
+  [[nodiscard]] double total_s() const noexcept {
+    return download_s + render_s;
+  }
+};
+
+/// Loads `page` over a fresh TCP connection on `path` (server at A, the
+/// device at B) and reports the PLT split via `done`.
+class WebBrowser {
+ public:
+  WebBrowser(sim::Simulator* simulator, net::PathNetwork* path,
+             PathFanout* fanout, tcp::TcpConfig config);
+  ~WebBrowser();
+
+  WebBrowser(const WebBrowser&) = delete;
+  WebBrowser& operator=(const WebBrowser&) = delete;
+
+  /// Starts the load now (HTTP request RTT + download + render).
+  void load(const WebPage& page, std::function<void(PltResult)> done);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace fiveg::app

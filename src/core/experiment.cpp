@@ -1,0 +1,80 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+namespace fiveg::core {
+
+namespace {
+
+void ensure_registered() {
+  static const bool once = [] {
+    register_coverage_experiments();
+    register_handoff_experiments();
+    register_throughput_experiments();
+    register_latency_experiments();
+    register_app_experiments();
+    register_energy_experiments();
+    register_ablation_experiments();
+    register_extension_experiments();
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace
+
+ExperimentRegistry& ExperimentRegistry::instance() {
+  static ExperimentRegistry registry;
+  return registry;
+}
+
+void ExperimentRegistry::add(Factory factory) {
+  factories_.push_back(std::move(factory));
+}
+
+bool ExperimentRegistry::run(const std::string& name,
+                             const ExperimentContext& ctx) {
+  ensure_registered();
+  for (const Factory& f : factories_) {
+    const auto exp = f();
+    if (exp->name() == name) {
+      *ctx.out << "### " << exp->name() << " — reproduces " << exp->paper_ref()
+               << "\n### " << exp->description() << "\n### seed " << ctx.seed
+               << "\n\n";
+      exp->run(ctx);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> ExperimentRegistry::names() const {
+  ensure_registered();
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const Factory& f : factories_) out.push_back(f()->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int run_experiment_main(const std::string& name, int argc, char** argv) {
+  ExperimentContext ctx;
+  ctx.out = &std::cout;
+  if (argc > 1) ctx.seed = std::strtoull(argv[1], nullptr, 10);
+
+  auto& registry = ExperimentRegistry::instance();
+  if (!name.empty()) {
+    if (!registry.run(name, ctx)) {
+      std::cerr << "unknown experiment: " << name << "\n";
+      return 1;
+    }
+    return 0;
+  }
+  for (const std::string& n : registry.names()) registry.run(n, ctx);
+  return 0;
+}
+
+}  // namespace fiveg::core

@@ -1,0 +1,76 @@
+// Experiment framework: every reproduced table/figure is an Experiment
+// registered by name. Bench binaries look experiments up and run them; the
+// output is a text table with the paper's values printed beside ours.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fiveg::core {
+
+/// Everything an experiment run needs.
+struct ExperimentContext {
+  std::uint64_t seed = 42;
+  std::ostream* out = nullptr;  // never null when run via the registry
+};
+
+/// One reproducible table/figure.
+class Experiment {
+ public:
+  virtual ~Experiment() = default;
+
+  /// Stable id, e.g. "fig7_throughput".
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Which paper artifact this regenerates, e.g. "Figure 7".
+  [[nodiscard]] virtual std::string paper_ref() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  virtual void run(const ExperimentContext& ctx) = 0;
+};
+
+/// Global experiment registry (populated by static registrars).
+class ExperimentRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<Experiment>()>;
+
+  static ExperimentRegistry& instance();
+
+  void add(Factory factory);
+
+  /// Runs the named experiment; returns false if unknown.
+  bool run(const std::string& name, const ExperimentContext& ctx);
+
+  /// All registered experiment names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  std::vector<Factory> factories_;
+};
+
+/// Adds an experiment type to the registry.
+template <typename T>
+void register_experiment() {
+  ExperimentRegistry::instance().add([] { return std::make_unique<T>(); });
+}
+
+/// Explicit registration hooks, one per experiments translation unit.
+/// Called by the registry before any lookup — static registrars would be
+/// dropped when linking from a static archive.
+void register_coverage_experiments();
+void register_handoff_experiments();
+void register_throughput_experiments();
+void register_latency_experiments();
+void register_app_experiments();
+void register_energy_experiments();
+void register_ablation_experiments();
+void register_extension_experiments();
+
+/// Standard bench-binary main body: runs one experiment (or all when
+/// `name` is empty) with an optional seed argument.
+int run_experiment_main(const std::string& name, int argc, char** argv);
+
+}  // namespace fiveg::core

@@ -1,0 +1,96 @@
+// The paper's reported numbers, collected in one place so every bench can
+// print "paper" next to "measured" and EXPERIMENTS.md can be regenerated
+// from a single source of truth.
+#pragma once
+
+namespace fiveg::core::paper {
+
+// --- Table 1: basic physical info ---
+inline constexpr int kLteCells = 34;
+inline constexpr int kNrCells = 13;
+inline constexpr double kLteRsrpMean = -84.84, kLteRsrpStd = 8.72;
+inline constexpr double kNrRsrpMean = -84.03, kNrRsrpStd = 11.72;
+
+// --- Table 2: RSRP distribution (fractions) ---
+// Bins: [-60,-40) [-70,-60) [-80,-70) [-90,-80) [-105,-90) [-140,-105)
+inline constexpr double kLteRsrpDist[6] = {0.0013, 0.0556, 0.2360,
+                                           0.3920, 0.2974, 0.0177};
+inline constexpr double kNrRsrpDist[6] = {0.0095, 0.0815, 0.2688,
+                                          0.3937, 0.1659, 0.0807};
+inline constexpr double kLte6RsrpDist[6] = {0.0013, 0.0529, 0.2186,
+                                            0.3877, 0.3002, 0.0384};
+
+// --- Coverage (Sec. 3.2/3.3) ---
+inline constexpr double kNrLinkRangeM = 230.0;
+inline constexpr double kLteLinkRangeM = 520.0;
+inline constexpr double kNrIndoorDrop = 0.5059;   // indoor bit-rate drop
+inline constexpr double kLteIndoorDrop = 0.2038;
+
+// --- Hand-off (Sec. 3.4) ---
+inline constexpr double kHoLatency44Ms = 30.10;
+inline constexpr double kHoLatency55Ms = 108.40;
+inline constexpr double kHoLatency45Ms = 80.23;
+inline constexpr double kHoGoodFraction = 0.75;  // HOs with >= 3 dB gain
+
+// --- Throughput (Sec. 4.1) ---
+inline constexpr double kNrUdpDayMbps = 880.0, kNrUdpNightMbps = 900.0;
+inline constexpr double kLteUdpDayMbps = 130.0, kLteUdpNightMbps = 200.0;
+inline constexpr double kNrUdpUlMbps = 130.0, kLteUdpUlDayMbps = 50.0;
+inline constexpr double kNrPeakPhyMbps = 1200.98;
+// Bandwidth utilisation (throughput / UDP baseline).
+inline constexpr double kUtil5G[5] = {0.211, 0.319, 0.121, 0.143, 0.825};
+inline constexpr double kUtil4G[5] = {0.529, 0.644, 0.10, 0.12, 0.791};
+// order: Reno, Cubic, Vegas, Veno, BBR (4G Vegas/Veno "poor", unquantified)
+
+// --- Fig. 9: UDP loss vs offered fraction of baseline ---
+inline constexpr double kLossFractions[5] = {0.2, 0.25, 1.0 / 3, 0.5, 1.0};
+inline constexpr double kLoss5GAtHalf = 0.031;  // >3.1% at 1/2 baseline
+inline constexpr double kLossRatio5GOver4G = 10.0;
+
+// --- Table 3: estimated buffers (packets of 60 B) ---
+inline constexpr double kBuf4G[3] = {468, 10539, 11007};   // RAN, wired, path
+inline constexpr double kBuf5G[3] = {2586, 26724, 29310};
+
+// --- Fig. 12: throughput drop across hand-off ---
+inline constexpr double kHoDrop55 = 0.7315;
+inline constexpr double kHoDrop54 = 0.8304;
+inline constexpr double kHoDrop44 = 0.2010;
+
+// --- Latency (Sec. 4.4) ---
+inline constexpr double kNrOneWayMs = 21.8;     // mean network latency
+inline constexpr double kRttGapMs = 22.3;       // 4G - 5G RTT gap
+inline constexpr double kRanRtt5GMs = 2.19, kRanRtt4GMs = 2.6;
+inline constexpr double kRttAt2500KmMs = 82.35;
+
+// --- Web (Sec. 5.1) ---
+inline constexpr double kPltReduction = 0.05;       // 5G total PLT gain
+inline constexpr double kDownloadReduction = 0.2068;  // download-only gain
+inline constexpr double kBbrSlowStartS = 6.0;
+
+// --- Video (Sec. 5.2) ---
+inline constexpr double kFrameDelay5GMs = 950.0;
+inline constexpr double kFrameDelayReqMs = 460.0;
+inline constexpr double kProcessingMs = 650.0;
+inline constexpr double kTransmissionMs = 66.0;
+inline constexpr int kFreezeEvents5p7K = 6;
+
+// --- Energy (Sec. 6) ---
+inline constexpr double kRadioShare5G = 0.5518;
+inline constexpr double kScreenShare = 0.3073;
+inline constexpr double kEnergyPerBitRatio = 4.0;  // 4G / 5G at saturation
+inline constexpr double kWebEnergyRatio5GOver4G = 1.67;
+// Table 4 (J): {web, video, file} x {LTE, NSA, Oracle, Dyn}.
+inline constexpr double kTable4[3][4] = {
+    {85.44, 113.94, 95.69, 85.41},
+    {227.13, 140.19, 123.03, 133.66},
+    {357.67, 157.29, 139.72, 150.80},
+};
+inline constexpr double kOracleSavings[3] = {0.1602, 0.1224, 0.1117};
+inline constexpr double kDynWebSaving = 0.2504;
+
+// --- Sec. 8: DSL comparison ---
+inline constexpr double kCpeThroughputMbps = 650.0;
+inline constexpr double kPerHouseMbps = 39.0;
+inline constexpr double kDslMbps = 24.0;
+
+}  // namespace fiveg::core::paper

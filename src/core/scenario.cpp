@@ -1,0 +1,82 @@
+#include "core/scenario.h"
+
+#include <algorithm>
+
+#include "core/paper.h"
+
+namespace fiveg::core {
+
+Scenario::Scenario(std::uint64_t seed)
+    : campus_(geo::make_campus(sim::Rng(seed).fork("campus"))),
+      deployment_(ran::make_deployment(&campus_,
+                                       sim::Rng(seed).fork("deployment"))) {}
+
+double baseline_rate_bps(radio::Rat rat, ran::LoadRegime regime,
+                         Direction direction) noexcept {
+  const bool nr = rat == radio::Rat::kNr;
+  if (direction == Direction::kDownlink) {
+    if (nr) {
+      return (regime == ran::LoadRegime::kDay ? paper::kNrUdpDayMbps
+                                              : paper::kNrUdpNightMbps) *
+             1e6;
+    }
+    return (regime == ran::LoadRegime::kDay ? paper::kLteUdpDayMbps
+                                            : paper::kLteUdpNightMbps) *
+           1e6;
+  }
+  if (nr) return paper::kNrUdpUlMbps * 1e6;
+  return (regime == ran::LoadRegime::kDay ? paper::kLteUdpUlDayMbps : 100.0) *
+         1e6;
+}
+
+Testbed::Testbed(sim::Simulator* simulator, const TestbedOptions& options,
+                 std::uint64_t seed) {
+  sim::Rng rng(seed);
+  ran_rate_bps_ = options.ran_rate_bps > 0
+                      ? options.ran_rate_bps
+                      : baseline_rate_bps(options.rat, options.regime,
+                                          options.direction);
+
+  net::CellularPathOptions path_opt;
+  path_opt.rat = options.rat;
+  path_opt.ran.rat = options.rat;
+  path_opt.ran.bitrate_bps = ran_rate_bps_;
+  path_opt.ran.blocked_fn = options.ran_blocked_fn;
+  path_opt.server_distance_km = options.server_distance_km;
+  if (options.wired_hops > 0) path_opt.wired_hops = options.wired_hops;
+  if (options.bottleneck_buffer_bytes != 0) {
+    path_opt.bottleneck_buffer_bytes = options.bottleneck_buffer_bytes;
+  }
+  auto hops = make_cellular_path(path_opt, rng.fork("path"));
+
+  std::size_t bottleneck = net::kBottleneckHopIndex;
+  if (options.direction == Direction::kDownlink) {
+    // A is the cloud: the UE-adjacent RAN hop goes last.
+    std::reverse(hops.begin(), hops.end());
+    bottleneck = hops.size() - 1 - bottleneck;
+  }
+  bottleneck_index_ = bottleneck;
+
+  path_ = std::make_unique<net::PathNetwork>(simulator, std::move(hops));
+  fanout_ = std::make_unique<app::PathFanout>(path_.get());
+
+  if (options.cross_traffic) {
+    net::CrossTraffic::Config xcfg;
+    xcfg.flow_id = 9999;
+    // Ambient metro bursts: calibrated so UDP loss lands on Fig. 9's
+    // curve (5G >= 10x the 4G loss at matched offered fractions).
+    xcfg.mean_off_s = 0.35;
+    xcfg.mean_on_s = 0.06;
+    xcfg.min_rate_bps = 150e6;
+    xcfg.max_rate_bps = 1300e6;
+    cross_ = std::make_unique<net::CrossTraffic>(
+        simulator, &path_->forward_link(bottleneck_index_), xcfg,
+        rng.fork("cross"));
+  }
+}
+
+void Testbed::start_cross_traffic(sim::Time until) {
+  if (cross_ != nullptr) cross_->start(until);
+}
+
+}  // namespace fiveg::core

@@ -1,0 +1,89 @@
+// Shared experiment scaffolding: the campus scenario (map + deployment)
+// and the standard UE <-> cloud testbed (cellular path + cross traffic),
+// assembled the same way for every experiment.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "app/iperf.h"
+#include "geo/campus.h"
+#include "net/cross_traffic.h"
+#include "net/epc.h"
+#include "net/path.h"
+#include "ran/deployment.h"
+#include "ran/prb_scheduler.h"
+#include "sim/simulator.h"
+
+namespace fiveg::core {
+
+/// The measured campus: map + NSA deployment, deterministic per seed.
+class Scenario {
+ public:
+  explicit Scenario(std::uint64_t seed);
+
+  [[nodiscard]] const geo::CampusMap& campus() const noexcept {
+    return campus_;
+  }
+  [[nodiscard]] const ran::Deployment& deployment() const noexcept {
+    return deployment_;
+  }
+
+ private:
+  geo::CampusMap campus_;
+  ran::Deployment deployment_;
+};
+
+/// Which endpoint sends the payload.
+enum class Direction { kDownlink, kUplink };
+
+/// Options for a testbed path.
+struct TestbedOptions {
+  radio::Rat rat = radio::Rat::kNr;
+  ran::LoadRegime regime = ran::LoadRegime::kDay;
+  Direction direction = Direction::kDownlink;
+  double server_distance_km = 30.0;
+  int wired_hops = 0;  // 0 = the default 6-hop metro path
+  bool cross_traffic = true;
+  // 0 = use the paper's UDP-baseline rate for the RAT/regime/direction.
+  double ran_rate_bps = 0.0;
+  // 0 = the legacy default (Table 3's 4G-era wireline buffer).
+  std::uint64_t bottleneck_buffer_bytes = 0;
+  std::function<bool()> ran_blocked_fn;  // hand-off outages
+};
+
+/// The paper's serving rate for a RAT/regime/direction (UDP baselines).
+[[nodiscard]] double baseline_rate_bps(radio::Rat rat, ran::LoadRegime regime,
+                                       Direction direction) noexcept;
+
+/// One UE <-> cloud path with fan-out sinks and optional ambient cross
+/// traffic at the wireline bottleneck. Endpoint A is the payload sender:
+/// the cloud for downlink runs, the UE for uplink runs.
+class Testbed {
+ public:
+  Testbed(sim::Simulator* simulator, const TestbedOptions& options,
+          std::uint64_t seed);
+
+  [[nodiscard]] net::PathNetwork& path() noexcept { return *path_; }
+  [[nodiscard]] app::PathFanout& fanout() noexcept { return *fanout_; }
+  /// The shared wireline bottleneck link in the payload direction.
+  [[nodiscard]] net::Link& bottleneck() noexcept {
+    return path_->forward_link(bottleneck_index_);
+  }
+  [[nodiscard]] double ran_rate_bps() const noexcept { return ran_rate_bps_; }
+  [[nodiscard]] std::size_t hop_count() const noexcept {
+    return path_->hop_count();
+  }
+
+  /// Starts the ambient cross traffic (idempotent; no-op if disabled).
+  void start_cross_traffic(sim::Time until);
+
+ private:
+  std::unique_ptr<net::PathNetwork> path_;
+  std::unique_ptr<app::PathFanout> fanout_;
+  std::unique_ptr<net::CrossTraffic> cross_;
+  std::size_t bottleneck_index_ = 0;
+  double ran_rate_bps_ = 0.0;
+};
+
+}  // namespace fiveg::core

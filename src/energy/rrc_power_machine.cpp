@@ -1,0 +1,170 @@
+#include "energy/rrc_power_machine.h"
+
+#include <algorithm>
+
+#include "ran/drx.h"
+
+namespace fiveg::energy {
+namespace {
+
+enum class Phase { kIdle, kPromoting, kConnected };
+
+}  // namespace
+
+EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
+                                     RadioModel model) const {
+  EnergyResult result;
+  if (trace.empty()) return result;
+
+  const sim::Time dt = config_.step;
+  const bool oracle = model == RadioModel::kNrOracle;
+  const bool sa = model == RadioModel::kNrSa;
+  // SA keeps connection context in RRC_INACTIVE for a while after the
+  // tail, enabling near-free reconnects (Rel-15 38.331, paper Appendix B).
+  const sim::Time inactive_window = 20 * sim::kSecond;
+  sim::Time last_idle_entry = -1;
+
+  Phase phase = Phase::kIdle;
+  ServingRat rat = initial_rat(model);
+  double backlog_bytes = 0.0;
+  std::size_t next_demand = 0;
+  sim::Time promotion_end = 0;
+  sim::Time last_activity = -1;  // end of the most recent transfer
+  sim::Time idle_since = 0;
+
+  double joules = 0.0;
+  double sample_acc_mw = 0.0;
+  int sample_count = 0;
+  sim::Time next_sample = config_.sample_period;
+
+  const sim::Time trace_end = trace.back().at;
+  // Upper bound: everything served at LTE rate + promotion + full tail.
+  const sim::Time horizon =
+      trace_end +
+      sim::from_seconds(8.0 * static_cast<double>(trace_bytes(trace)) /
+                        config_.lte_rate_bps) +
+      config_.nr_drx.tail + 20 * sim::kSecond;
+
+  for (sim::Time t = 0; t <= horizon; t += dt) {
+    while (next_demand < trace.size() && trace[next_demand].at <= t) {
+      backlog_bytes += static_cast<double>(trace[next_demand].bytes);
+      ++next_demand;
+    }
+    const bool all_arrived = next_demand == trace.size();
+
+    // --- State transitions ---
+    if (backlog_bytes > 0.0) {
+      if (phase == Phase::kIdle) {
+        sim::Time promo = promotion_delay(
+            model, config_.lte_drx.lte_promotion, config_.nr_drx.nr_promotion);
+        if (sa && last_idle_entry >= 0 &&
+            t - last_idle_entry < inactive_window) {
+          promo = 100 * sim::kMillisecond;  // RRC_INACTIVE resume
+        }
+        phase = promo > 0 ? Phase::kPromoting : Phase::kConnected;
+        promotion_end = t + promo;
+        rat = initial_rat(model);
+      } else if (phase == Phase::kPromoting && t >= promotion_end) {
+        phase = Phase::kConnected;
+      }
+      // Dynamic escalation: LTE backlog too deep -> add the NR leg.
+      if (model == RadioModel::kDynamicSwitch && phase == Phase::kConnected &&
+          rat == ServingRat::kLte) {
+        const double lte_drain_s =
+            backlog_bytes * 8.0 / config_.lte_rate_bps;
+        if (lte_drain_s > sim::to_seconds(config_.dyn_backlog_threshold)) {
+          phase = Phase::kPromoting;
+          promotion_end = t + config_.nr_drx.lte_to_nr;  // T4r_5r
+          rat = ServingRat::kNr;
+        }
+      }
+    } else if (phase == Phase::kConnected && last_activity >= 0) {
+      // SA runs a single NR tail (no LTE re-run): half the NSA tail.
+      const sim::Time tail = rat != ServingRat::kNr ? config_.lte_drx.tail
+                             : sa                   ? config_.lte_drx.tail
+                                                    : config_.nr_drx.tail;
+      if (t - last_activity >= tail) {
+        phase = Phase::kIdle;
+        idle_since = t;
+        last_idle_entry = t;
+      }
+    }
+
+    // --- Serve and compute draw ---
+    const RadioPower& active_power =
+        rat == ServingRat::kNr ? config_.nr_power : config_.lte_power;
+    double draw_mw = 0.0;
+    switch (phase) {
+      case Phase::kIdle:
+        draw_mw = radio_draw_mw(
+            config_.lte_power,  // NSA camps idle on LTE paging
+            ran::idle_activity(config_.lte_drx, t - idle_since), 0.0);
+        break;
+      case Phase::kPromoting:
+        draw_mw = active_power.promotion_mw;
+        break;
+      case Phase::kConnected: {
+        if (backlog_bytes > 0.0) {
+          const double rate_bps = rat == ServingRat::kNr
+                                      ? config_.nr_rate_bps
+                                      : config_.lte_rate_bps;
+          const double served =
+              std::min(backlog_bytes, rate_bps / 8.0 * sim::to_seconds(dt));
+          backlog_bytes -= served;
+          result.served_bits += 8.0 * served;
+          draw_mw = active_power.active_mw(rate_bps / 1e6);
+          last_activity = t + dt;
+          if (backlog_bytes <= 0.0 && all_arrived) result.completion = t + dt;
+        } else {
+          // Connected tail. The NSA tail runs the NR DRX machine first,
+          // then re-runs the LTE tail (Fig. 23's compounded tail). The
+          // Oracle sleeps perfectly through it — it eliminates on-duration
+          // and inactivity-timer waste, but cannot dodge the tail's
+          // hardware sleep floor (the paper's 11-16% ceiling).
+          const sim::Time since = t - last_activity;
+          if (rat == ServingRat::kNr) {
+            const sim::Time nr_tail_half = config_.lte_drx.tail;
+            const bool in_nr_half = since < nr_tail_half;
+            const RadioPower& p =
+                in_nr_half ? config_.nr_power : config_.lte_power;
+            const ran::RadioActivity activity =
+                oracle ? ran::RadioActivity::kTailSleep
+                       : ran::connected_activity(config_.nr_drx, since);
+            draw_mw = radio_draw_mw(p, activity, 0.0);
+          } else {
+            const ran::RadioActivity activity =
+                oracle ? ran::RadioActivity::kTailSleep
+                       : ran::connected_activity(config_.lte_drx, since);
+            draw_mw = radio_draw_mw(config_.lte_power, activity, 0.0);
+          }
+        }
+        break;
+      }
+    }
+
+    joules += draw_mw / 1000.0 * sim::to_seconds(dt);
+    sample_acc_mw += draw_mw;
+    ++sample_count;
+    if (t >= next_sample) {
+      result.power_trace_mw.add(t, sample_acc_mw / sample_count);
+      sample_acc_mw = 0.0;
+      sample_count = 0;
+      next_sample += config_.sample_period;
+    }
+
+    if (all_arrived && backlog_bytes <= 0.0 && phase == Phase::kIdle &&
+        t > trace_end) {
+      result.duration = t;
+      break;
+    }
+    result.duration = t;
+  }
+
+  result.radio_joules = joules;
+  result.mean_radio_mw =
+      result.duration > 0 ? joules * 1000.0 / sim::to_seconds(result.duration)
+                          : 0.0;
+  return result;
+}
+
+}  // namespace fiveg::energy

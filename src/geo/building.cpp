@@ -1,0 +1,32 @@
+#include "geo/building.h"
+
+namespace fiveg::geo {
+
+double wall_loss_db(Material m, double freq_ghz) noexcept {
+  // Linear-in-frequency per-wall models, anchored so concrete gives
+  // ~10 dB at 1.8 GHz and ~16.5 dB at 3.5 GHz — the gap that produces the
+  // paper's 20% (4G) vs 51% (5G) indoor bit-rate drop.
+  switch (m) {
+    case Material::kConcrete:
+      return 3.0 + 3.85 * freq_ghz;
+    case Material::kBrick:
+      return 2.0 + 3.0 * freq_ghz;
+    case Material::kDrywall:
+      return 1.0 + 0.8 * freq_ghz;
+    case Material::kGlass:
+      return 0.5 + 0.6 * freq_ghz;
+  }
+  return 0.0;
+}
+
+double Building::penetration_db(const Segment& path,
+                                double freq_ghz) const noexcept {
+  const int walls = footprint.crossings(path);
+  if (walls == 0 && contains(path.a) && contains(path.b)) {
+    // Fully-indoor short hop: attenuate by interior clutter, not walls.
+    return 0.4 * wall_loss_db(material, freq_ghz);
+  }
+  return walls * wall_loss_db(material, freq_ghz);
+}
+
+}  // namespace fiveg::geo

@@ -1,0 +1,97 @@
+#include "geo/campus.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace fiveg::geo {
+
+CampusMap::CampusMap(Rect bounds, std::vector<Building> buildings)
+    : bounds_(bounds), buildings_(std::move(buildings)) {
+  if (bounds_.width() <= 0 || bounds_.height() <= 0) {
+    throw std::invalid_argument("CampusMap bounds must be non-degenerate");
+  }
+}
+
+bool CampusMap::is_indoor(const Point& p) const noexcept {
+  for (const Building& b : buildings_) {
+    if (b.contains(p)) return true;
+  }
+  return false;
+}
+
+bool CampusMap::has_los(const Segment& path) const noexcept {
+  for (const Building& b : buildings_) {
+    if (b.footprint.intersects(path)) return false;
+  }
+  return true;
+}
+
+double CampusMap::penetration_db(const Segment& path,
+                                 double freq_ghz) const noexcept {
+  double total = 0.0;
+  for (const Building& b : buildings_) {
+    total += b.penetration_db(path, freq_ghz);
+  }
+  return total;
+}
+
+double CampusMap::o2i_loss_db(const Point& p, double freq_ghz) const noexcept {
+  for (const Building& b : buildings_) {
+    if (b.contains(p)) {
+      // One exterior wall plus interior clutter growing with depth from
+      // the nearest wall (3GPP O2I spirit, linear-depth variant).
+      const Rect& f = b.footprint;
+      const double depth =
+          std::min(std::min(p.x - f.min.x, f.max.x - p.x),
+                   std::min(p.y - f.min.y, f.max.y - p.y));
+      return wall_loss_db(b.material, freq_ghz) + 0.3 * depth;
+    }
+  }
+  return 0.0;
+}
+
+Point CampusMap::random_point(sim::Rng& rng) const {
+  return {rng.uniform(bounds_.min.x, bounds_.max.x),
+          rng.uniform(bounds_.min.y, bounds_.max.y)};
+}
+
+Point CampusMap::random_outdoor_point(sim::Rng& rng) const {
+  // Street grid keeps >40% of the area outdoor, so rejection terminates fast.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const Point p = random_point(rng);
+    if (!is_indoor(p)) return p;
+  }
+  return bounds_.min;  // unreachable for any sane map; keeps noexcept callers simple
+}
+
+CampusMap make_campus(sim::Rng rng) {
+  // Paper: 0.5 km x 0.92 km, dense urban campus, brick/concrete buildings,
+  // surrounded by tall buildings and open areas.
+  const Rect bounds{{0.0, 0.0}, {500.0, 920.0}};
+
+  std::vector<Building> buildings;
+  // Street grid: blocks of 100 m x 115 m separated by 20 m streets. Each
+  // block hosts a building with jittered size/position; some blocks stay
+  // open (quads, sports fields).
+  const double block_w = 100.0, block_h = 115.0;
+  int id = 0;
+  for (double bx = 10.0; bx + block_w < bounds.max.x; bx += block_w + 20.0) {
+    for (double by = 10.0; by + block_h < bounds.max.y; by += block_h + 20.0) {
+      // ~1 in 5 blocks is open space.
+      if (rng.bernoulli(0.2)) continue;
+      const double w = rng.uniform(0.55, 0.8) * block_w;
+      const double h = rng.uniform(0.55, 0.8) * block_h;
+      const double ox = bx + rng.uniform(0.0, block_w - w);
+      const double oy = by + rng.uniform(0.0, block_h - h);
+      const Material m =
+          rng.bernoulli(0.7) ? Material::kConcrete : Material::kBrick;
+      buildings.push_back(
+          Building{Rect{{ox, oy}, {ox + w, oy + h}}, m,
+                   "bldg-" + std::to_string(id++)});
+    }
+  }
+  return CampusMap(bounds, std::move(buildings));
+}
+
+}  // namespace fiveg::geo

@@ -1,0 +1,58 @@
+// The measurement campus: a 0.5 km x 0.92 km urban block with brick/concrete
+// buildings, matching the paper's survey area. The map answers the radio
+// model's questions: is a point indoor, is a path line-of-sight, and how much
+// penetration loss does a path accumulate.
+#pragma once
+
+#include <vector>
+
+#include "geo/building.h"
+#include "geo/geometry.h"
+#include "sim/rng.h"
+
+namespace fiveg::geo {
+
+/// Immutable campus map.
+class CampusMap {
+ public:
+  CampusMap(Rect bounds, std::vector<Building> buildings);
+
+  [[nodiscard]] const Rect& bounds() const noexcept { return bounds_; }
+  [[nodiscard]] const std::vector<Building>& buildings() const noexcept {
+    return buildings_;
+  }
+
+  /// True when the point lies inside any building footprint.
+  [[nodiscard]] bool is_indoor(const Point& p) const noexcept;
+
+  /// True when no building blocks the direct path.
+  [[nodiscard]] bool has_los(const Segment& path) const noexcept;
+
+  /// Total wall penetration loss along the direct path, in dB at `freq_ghz`.
+  [[nodiscard]] double penetration_db(const Segment& path,
+                                      double freq_ghz) const noexcept;
+
+  /// Outdoor-to-indoor loss for a UE at `p`: one exterior wall of the
+  /// containing building plus a small interior-clutter term; 0 outdoors.
+  /// (Outdoor NLoS blockage is already part of the UMa NLoS fit, so only
+  /// indoor endpoints take explicit penetration.)
+  [[nodiscard]] double o2i_loss_db(const Point& p,
+                                   double freq_ghz) const noexcept;
+
+  /// A uniformly random outdoor point (rejection sampling).
+  [[nodiscard]] Point random_outdoor_point(sim::Rng& rng) const;
+
+  /// A uniformly random point anywhere in bounds.
+  [[nodiscard]] Point random_point(sim::Rng& rng) const;
+
+ private:
+  Rect bounds_;
+  std::vector<Building> buildings_;
+};
+
+/// Builds the paper's campus: `bounds` 500 m x 920 m, a street grid with
+/// rectangular concrete buildings on most blocks and some open areas
+/// (sports fields, lawns). Deterministic for a given rng stream.
+[[nodiscard]] CampusMap make_campus(sim::Rng rng);
+
+}  // namespace fiveg::geo

@@ -1,0 +1,57 @@
+// 2-D geometry primitives for the campus model: points in metres, segments
+// (radio paths), and axis-aligned rectangles (building footprints).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace fiveg::geo {
+
+/// A position on the campus plane, in metres.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+[[nodiscard]] double distance(const Point& a, const Point& b) noexcept;
+
+/// Azimuth of b as seen from a, in degrees in [0, 360): 0 = +x ("east"),
+/// counter-clockwise positive.
+[[nodiscard]] double azimuth_deg(const Point& from, const Point& to) noexcept;
+
+/// Smallest absolute angular difference between two azimuths, in [0, 180].
+[[nodiscard]] double angle_diff_deg(double a_deg, double b_deg) noexcept;
+
+/// A straight path between two points (transmitter -> receiver).
+struct Segment {
+  Point a;
+  Point b;
+
+  [[nodiscard]] double length() const noexcept { return distance(a, b); }
+  /// Point at parameter t in [0,1] along the segment.
+  [[nodiscard]] Point at(double t) const noexcept;
+};
+
+/// Axis-aligned rectangle, min corner inclusive / max corner inclusive.
+struct Rect {
+  Point min;
+  Point max;
+
+  [[nodiscard]] bool contains(const Point& p) const noexcept;
+  [[nodiscard]] double width() const noexcept { return max.x - min.x; }
+  [[nodiscard]] double height() const noexcept { return max.y - min.y; }
+  [[nodiscard]] Point center() const noexcept;
+
+  /// Number of rectangle edges a segment crosses: 0 (misses), 1 (one end
+  /// inside), or 2 (passes through). Each crossing is one wall for the
+  /// penetration-loss model.
+  [[nodiscard]] int crossings(const Segment& s) const noexcept;
+
+  /// True if the segment intersects the rectangle's interior at all.
+  [[nodiscard]] bool intersects(const Segment& s) const noexcept;
+};
+
+}  // namespace fiveg::geo

@@ -1,0 +1,60 @@
+#include "geo/route.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace fiveg::geo {
+
+Route::Route(std::vector<Point> waypoints) : waypoints_(std::move(waypoints)) {
+  if (waypoints_.size() < 2) {
+    throw std::invalid_argument("Route needs at least two waypoints");
+  }
+  cumulative_.reserve(waypoints_.size());
+  cumulative_.push_back(0.0);
+  for (std::size_t i = 1; i < waypoints_.size(); ++i) {
+    total_length_ += distance(waypoints_[i - 1], waypoints_[i]);
+    cumulative_.push_back(total_length_);
+  }
+}
+
+Point Route::position_at(double d) const noexcept {
+  if (d <= 0.0) return waypoints_.front();
+  if (d >= total_length_) return waypoints_.back();
+  const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(), d);
+  const auto idx = static_cast<std::size_t>(it - cumulative_.begin());
+  // idx >= 1 because cumulative_[0] == 0 <= d.
+  const double seg_start = cumulative_[idx - 1];
+  const double seg_len = cumulative_[idx] - seg_start;
+  const double t = seg_len > 0.0 ? (d - seg_start) / seg_len : 0.0;
+  return Segment{waypoints_[idx - 1], waypoints_[idx]}.at(t);
+}
+
+std::vector<Point> Route::samples(double spacing_m) const {
+  if (spacing_m <= 0.0) {
+    throw std::invalid_argument("sample spacing must be positive");
+  }
+  std::vector<Point> out;
+  for (double d = 0.0; d < total_length_; d += spacing_m) {
+    out.push_back(position_at(d));
+  }
+  out.push_back(waypoints_.back());
+  return out;
+}
+
+Route make_survey_route(const CampusMap& campus, double lane_spacing_m) {
+  const Rect& b = campus.bounds();
+  std::vector<Point> pts;
+  bool up = true;
+  for (double x = b.min.x + 5.0; x <= b.max.x - 5.0; x += lane_spacing_m) {
+    const double y0 = up ? b.min.y + 5.0 : b.max.y - 5.0;
+    const double y1 = up ? b.max.y - 5.0 : b.min.y + 5.0;
+    pts.push_back({x, y0});
+    pts.push_back({x, y1});
+    up = !up;
+  }
+  return Route(std::move(pts));
+}
+
+}  // namespace fiveg::geo

@@ -1,0 +1,41 @@
+// Drive-test routes: the paper's blanket survey walks every street segment
+// (6.019 km at 4-5 km/h). A route is a polyline with positions addressable
+// by distance travelled, so callers can sample it at any cadence.
+#pragma once
+
+#include <vector>
+
+#include "geo/campus.h"
+#include "geo/geometry.h"
+
+namespace fiveg::geo {
+
+/// A polyline walked at constant speed.
+class Route {
+ public:
+  /// `waypoints` needs at least two points.
+  explicit Route(std::vector<Point> waypoints);
+
+  [[nodiscard]] double length_m() const noexcept { return total_length_; }
+  [[nodiscard]] const std::vector<Point>& waypoints() const noexcept {
+    return waypoints_;
+  }
+
+  /// Position after walking `d` metres from the start (clamped to the ends).
+  [[nodiscard]] Point position_at(double d) const noexcept;
+
+  /// Evenly spaced samples every `spacing_m` metres (includes both ends).
+  [[nodiscard]] std::vector<Point> samples(double spacing_m) const;
+
+ private:
+  std::vector<Point> waypoints_;
+  std::vector<double> cumulative_;  // cumulative length at each waypoint
+  double total_length_ = 0.0;
+};
+
+/// Serpentine sweep over the street grid of `campus`: north-south passes
+/// every `lane_spacing_m`, emulating the paper's full-coverage walk.
+[[nodiscard]] Route make_survey_route(const CampusMap& campus,
+                                      double lane_spacing_m = 60.0);
+
+}  // namespace fiveg::geo

@@ -1,0 +1,44 @@
+#include "measure/csv.h"
+
+#include <ostream>
+
+namespace fiveg::measure {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void write_csv(std::ostream& os, const std::string& name,
+               const TimeSeries& series) {
+  os << "t_seconds," << csv_escape(name) << "\n";
+  for (const TimePoint& p : series.points()) {
+    os << sim::to_seconds(p.at) << "," << p.value << "\n";
+  }
+}
+
+void write_csv(std::ostream& os, const KpiLogger& log) {
+  os << "kpi,t_seconds,value\n";
+  for (const std::string& name : log.kpi_names()) {
+    for (const TimePoint& p : log.series(name).points()) {
+      os << csv_escape(name) << "," << sim::to_seconds(p.at) << ","
+         << p.value << "\n";
+    }
+  }
+}
+
+void write_events_csv(std::ostream& os, const KpiLogger& log) {
+  os << "t_seconds,type,detail\n";
+  for (const SignalingEvent& e : log.events()) {
+    os << sim::to_seconds(e.at) << "," << csv_escape(e.type) << ","
+       << csv_escape(e.detail) << "\n";
+  }
+}
+
+}  // namespace fiveg::measure

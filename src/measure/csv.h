@@ -1,0 +1,29 @@
+// CSV export — the paper shipped its dataset publicly; these helpers let
+// every experiment dump its KPI series / hand-off logs in a form that
+// plots with any external tool.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "measure/kpi_logger.h"
+#include "measure/timeseries.h"
+
+namespace fiveg::measure {
+
+/// Writes one time series as `t_seconds,<name>` rows with a header.
+void write_csv(std::ostream& os, const std::string& name,
+               const TimeSeries& series);
+
+/// Writes several series joined on their own timestamps (long format:
+/// `kpi,t_seconds,value`).
+void write_csv(std::ostream& os, const KpiLogger& log);
+
+/// Writes the signalling events: `t_seconds,type,detail` (detail quoted).
+void write_events_csv(std::ostream& os, const KpiLogger& log);
+
+/// Escapes a CSV field (quotes it when it contains commas/quotes).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace fiveg::measure

@@ -1,0 +1,37 @@
+#include "measure/kpi_logger.h"
+
+#include <utility>
+
+namespace fiveg::measure {
+
+void KpiLogger::log(const std::string& kpi, sim::Time at, double value) {
+  series_[kpi].add(at, value);
+}
+
+void KpiLogger::log_event(sim::Time at, std::string type, std::string detail) {
+  events_.push_back({at, std::move(type), std::move(detail)});
+}
+
+const TimeSeries& KpiLogger::series(const std::string& kpi) const {
+  static const TimeSeries kEmpty;
+  const auto it = series_.find(kpi);
+  return it == series_.end() ? kEmpty : it->second;
+}
+
+std::vector<SignalingEvent> KpiLogger::events_of_type(
+    const std::string& type) const {
+  std::vector<SignalingEvent> out;
+  for (const SignalingEvent& e : events_) {
+    if (e.type == type) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<std::string> KpiLogger::kpi_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, unused] : series_) names.push_back(name);
+  return names;
+}
+
+}  // namespace fiveg::measure

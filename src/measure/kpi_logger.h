@@ -1,0 +1,50 @@
+// The XCAL-Mobile substitute: a passive logger that the simulated stack
+// feeds with physical-layer KPIs (RSRP, RSRQ, SINR, CQI, MCS, PRBs, …) and
+// control-plane signalling events (RRC reconfigurations, hand-off legs).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "measure/timeseries.h"
+#include "sim/time.h"
+
+namespace fiveg::measure {
+
+/// One control-plane signalling record.
+struct SignalingEvent {
+  sim::Time at;
+  std::string type;     // e.g. "A3_TRIGGER", "LTE_RACH", "NR_RACH_SUCCESS"
+  std::string detail;   // free-form, e.g. "pci=72 -> pci=44"
+};
+
+/// Cross-layer measurement log, keyed by KPI name.
+class KpiLogger {
+ public:
+  /// Appends a numeric KPI observation.
+  void log(const std::string& kpi, sim::Time at, double value);
+
+  /// Appends a signalling event.
+  void log_event(sim::Time at, std::string type, std::string detail = {});
+
+  /// Series for one KPI; an empty static series if never logged.
+  [[nodiscard]] const TimeSeries& series(const std::string& kpi) const;
+
+  [[nodiscard]] const std::vector<SignalingEvent>& events() const noexcept {
+    return events_;
+  }
+
+  /// Events of one type, in time order.
+  [[nodiscard]] std::vector<SignalingEvent> events_of_type(
+      const std::string& type) const;
+
+  /// All KPI names seen so far, sorted.
+  [[nodiscard]] std::vector<std::string> kpi_names() const;
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+  std::vector<SignalingEvent> events_;
+};
+
+}  // namespace fiveg::measure

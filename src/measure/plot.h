@@ -1,0 +1,36 @@
+// ASCII charts for the bench harness: the paper's figures are plots, so
+// the benches render the reproduced series as terminal line charts and CDF
+// curves next to the numeric tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "measure/cdf.h"
+#include "measure/timeseries.h"
+
+namespace fiveg::measure {
+
+/// Rendering options shared by the chart functions.
+struct PlotOptions {
+  int width = 72;   // plot area columns (exclusive of the y-axis gutter)
+  int height = 14;  // plot area rows
+  std::string title;
+  std::string y_label;
+  std::string x_label;
+};
+
+/// Renders (time, value) points as a line chart; x is seconds.
+[[nodiscard]] std::string line_chart(const std::vector<TimePoint>& points,
+                                     const PlotOptions& options);
+
+/// Renders two series on one chart ('*' and 'o'), sharing axes.
+[[nodiscard]] std::string line_chart2(const std::vector<TimePoint>& a,
+                                      const std::vector<TimePoint>& b,
+                                      const PlotOptions& options);
+
+/// Renders an empirical CDF (y: 0..1).
+[[nodiscard]] std::string cdf_chart(const Cdf& cdf,
+                                    const PlotOptions& options);
+
+}  // namespace fiveg::measure

@@ -1,0 +1,56 @@
+#include "measure/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace fiveg::measure {
+
+TextTable::TextTable(std::string title, std::vector<std::string> header)
+    : title_(std::move(title)), header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) widths[c] = std::max(widths[c], row[c].size());
+  }
+  std::size_t total = header_.empty() ? 0 : 3 * (header_.size() - 1);
+  for (const std::size_t w : widths) total += w;
+
+  os << "== " << title_ << " ==\n";
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cells[c];
+      if (c + 1 < cells.size()) os << " | ";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+  os << "\n";
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string TextTable::pm(double mean, double std, int precision) {
+  return num(mean, precision) + " +/- " + num(std, precision);
+}
+
+std::string TextTable::pct(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace fiveg::measure

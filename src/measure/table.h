@@ -1,0 +1,41 @@
+// Plain-text table rendering for the bench harness: every reproduced table
+// or figure is printed as aligned columns, typically with a "paper" column
+// next to the "measured" one.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace fiveg::measure {
+
+/// Column-aligned text table with a title and header row.
+class TextTable {
+ public:
+  TextTable(std::string title, std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded).
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a title rule, header, separator and aligned columns.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Formats a double with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+
+  /// Formats "mean ± std".
+  static std::string pm(double mean, double std, int precision = 2);
+
+  /// Formats a percentage, e.g. 0.0807 -> "8.07%".
+  static std::string pct(double fraction, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace fiveg::measure

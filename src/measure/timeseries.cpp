@@ -1,0 +1,61 @@
+#include "measure/timeseries.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fiveg::measure {
+
+RunningStats TimeSeries::summarize(sim::Time from, sim::Time to) const {
+  RunningStats s;
+  for (const TimePoint& p : points_) {
+    if (p.at >= from && p.at <= to) s.add(p.value);
+  }
+  return s;
+}
+
+RunningStats TimeSeries::summarize() const {
+  RunningStats s;
+  for (const TimePoint& p : points_) s.add(p.value);
+  return s;
+}
+
+namespace {
+
+std::vector<TimePoint> windowed(const std::vector<TimePoint>& points,
+                                sim::Time from, sim::Time to,
+                                sim::Time window, bool mean) {
+  if (window <= 0) throw std::invalid_argument("window must be positive");
+  if (to < from) return {};
+  const auto n_windows =
+      static_cast<std::size_t>((to - from) / window) + 1;
+  std::vector<double> sums(n_windows, 0.0);
+  std::vector<std::size_t> counts(n_windows, 0);
+  for (const TimePoint& p : points) {
+    if (p.at < from || p.at > to) continue;
+    const auto idx = static_cast<std::size_t>((p.at - from) / window);
+    sums[idx] += p.value;
+    ++counts[idx];
+  }
+  std::vector<TimePoint> out;
+  out.reserve(n_windows);
+  for (std::size_t i = 0; i < n_windows; ++i) {
+    double v = sums[i];
+    if (mean) v = counts[i] ? v / static_cast<double>(counts[i]) : 0.0;
+    out.push_back({from + static_cast<sim::Time>(i) * window, v});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<TimePoint> TimeSeries::window_sums(sim::Time from, sim::Time to,
+                                               sim::Time window) const {
+  return windowed(points_, from, to, window, /*mean=*/false);
+}
+
+std::vector<TimePoint> TimeSeries::window_means(sim::Time from, sim::Time to,
+                                                sim::Time window) const {
+  return windowed(points_, from, to, window, /*mean=*/true);
+}
+
+}  // namespace fiveg::measure

@@ -1,0 +1,53 @@
+// Time-stamped sample series: throughput-over-time, cwnd evolution, power
+// traces. Provides windowed resampling because the paper reports (e.g.)
+// throughput over 10 ms windows.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "measure/stats.h"
+#include "sim/time.h"
+
+namespace fiveg::measure {
+
+/// One (time, value) observation.
+struct TimePoint {
+  sim::Time at;
+  double value;
+};
+
+/// Append-only series of timed observations.
+class TimeSeries {
+ public:
+  void add(sim::Time at, double value) { points_.push_back({at, value}); }
+
+  [[nodiscard]] std::size_t size() const noexcept { return points_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return points_.empty(); }
+  [[nodiscard]] const std::vector<TimePoint>& points() const noexcept {
+    return points_;
+  }
+
+  /// Summary over values between `from` and `to` (inclusive).
+  [[nodiscard]] RunningStats summarize(sim::Time from, sim::Time to) const;
+
+  /// Summary over all values.
+  [[nodiscard]] RunningStats summarize() const;
+
+  /// Sums values per window of width `window` starting at `from`; returns
+  /// one point per window stamped at the window start. Used to turn
+  /// per-packet byte logs into windowed throughput.
+  [[nodiscard]] std::vector<TimePoint> window_sums(sim::Time from,
+                                                   sim::Time to,
+                                                   sim::Time window) const;
+
+  /// Means per window (empty windows yield 0).
+  [[nodiscard]] std::vector<TimePoint> window_means(sim::Time from,
+                                                    sim::Time to,
+                                                    sim::Time window) const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+}  // namespace fiveg::measure

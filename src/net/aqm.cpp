@@ -1,0 +1,80 @@
+#include "net/aqm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fiveg::net {
+
+bool CoDelQueue::push(Packet p, sim::Time now) {
+  if (bytes_ + p.size_bytes > config_.capacity_bytes) {
+    ++drops_;
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  max_depth_bytes_ = std::max(max_depth_bytes_, bytes_);
+  q_.push_back({std::move(p), now});
+  return true;
+}
+
+bool CoDelQueue::over_target(const Entry& e, sim::Time now) const {
+  return now - e.enqueued_at > config_.target;
+}
+
+sim::Time CoDelQueue::control_law(sim::Time t) const {
+  // interval / sqrt(drop_count): drops accelerate while congestion holds.
+  return t + static_cast<sim::Time>(
+                 static_cast<double>(config_.interval) /
+                 std::sqrt(static_cast<double>(std::max(drop_count_, 1u))));
+}
+
+std::optional<Packet> CoDelQueue::pop(sim::Time now) {
+  while (!q_.empty()) {
+    Entry e = std::move(q_.front());
+    q_.pop_front();
+    bytes_ -= e.packet.size_bytes;
+
+    const bool above = over_target(e, now);
+    if (!dropping_) {
+      if (!above) {
+        first_above_time_ = 0;
+        return std::move(e.packet);
+      }
+      if (first_above_time_ == 0) {
+        first_above_time_ = now + config_.interval;
+        return std::move(e.packet);
+      }
+      if (now < first_above_time_) return std::move(e.packet);
+      // Sojourn has exceeded target for a full interval: enter dropping.
+      dropping_ = true;
+      ++drops_;  // drop this packet
+      drop_count_ = drop_count_ > last_drop_count_ + 1 &&
+                            now - drop_next_ < 8 * config_.interval
+                        ? drop_count_ - last_drop_count_
+                        : 1;
+      drop_next_ = control_law(now);
+      last_drop_count_ = drop_count_;
+      continue;
+    }
+
+    // Dropping state.
+    if (!above) {
+      dropping_ = false;
+      first_above_time_ = 0;
+      return std::move(e.packet);
+    }
+    if (now >= drop_next_) {
+      ++drops_;
+      ++drop_count_;
+      drop_next_ = control_law(drop_next_);
+      continue;
+    }
+    return std::move(e.packet);
+  }
+  if (q_.empty()) {
+    dropping_ = false;
+    first_above_time_ = 0;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fiveg::net

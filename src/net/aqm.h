@@ -1,0 +1,79 @@
+// Queue disciplines. The paper's buffer-sizing discussion (Sec. 4.2) pits
+// two fixes against each other: grow drop-tail buffers (cheap, but invites
+// bufferbloat) or deploy smarter queues. CoDel is the canonical
+// bufferbloat-era AQM, implemented here per RFC 8289 for the ablation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.h"
+#include "sim/time.h"
+
+namespace fiveg::net {
+
+/// Queue discipline interface used by Link.
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  /// Offers a packet at time `now`; false = dropped on entry.
+  virtual bool push(Packet p, sim::Time now) = 0;
+
+  /// Dequeues the next packet to transmit at time `now`, or nullopt when
+  /// empty (CoDel may drop internally while dequeuing).
+  virtual std::optional<Packet> pop(sim::Time now) = 0;
+
+  [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::uint64_t size_bytes() const = 0;
+  [[nodiscard]] virtual std::uint64_t drops() const = 0;
+  [[nodiscard]] virtual std::uint64_t max_depth_bytes() const = 0;
+};
+
+/// RFC 8289 CoDel on top of a byte-bounded FIFO.
+class CoDelQueue final : public QueueDiscipline {
+ public:
+  struct Config {
+    sim::Time target = 5 * sim::kMillisecond;     // acceptable sojourn
+    sim::Time interval = 100 * sim::kMillisecond; // initial drop spacing
+    std::uint64_t capacity_bytes = 4 * 1024 * 1024;
+  };
+
+  CoDelQueue() : CoDelQueue(Config{}) {}
+  explicit CoDelQueue(const Config& config) : config_(config) {}
+
+  bool push(Packet p, sim::Time now) override;
+  std::optional<Packet> pop(sim::Time now) override;
+
+  [[nodiscard]] bool empty() const override { return q_.empty(); }
+  [[nodiscard]] std::uint64_t size_bytes() const override { return bytes_; }
+  [[nodiscard]] std::uint64_t drops() const override { return drops_; }
+  [[nodiscard]] std::uint64_t max_depth_bytes() const override {
+    return max_depth_bytes_;
+  }
+
+ private:
+  struct Entry {
+    Packet packet;
+    sim::Time enqueued_at;
+  };
+
+  [[nodiscard]] bool over_target(const Entry& e, sim::Time now) const;
+  [[nodiscard]] sim::Time control_law(sim::Time t) const;
+
+  Config config_;
+  std::deque<Entry> q_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t max_depth_bytes_ = 0;
+
+  // CoDel state machine.
+  bool dropping_ = false;
+  sim::Time first_above_time_ = 0;
+  sim::Time drop_next_ = 0;
+  std::uint32_t drop_count_ = 0;
+  std::uint32_t last_drop_count_ = 0;
+};
+
+}  // namespace fiveg::net

@@ -1,0 +1,52 @@
+// Bursty background traffic sharing a wireline bottleneck. The paper traces
+// the 5G TCP anomaly to legacy core routers whose buffers overflow
+// intermittently under 5G-scale load; the overflow happens when ambient
+// Internet bursts ride on top of the probe flow. This source produces
+// exponentially spaced ON bursts with heavy-tailed-ish burst rates.
+#pragma once
+
+#include <cstdint>
+
+#include "net/link.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace fiveg::net {
+
+/// ON/OFF burst source feeding a shared link.
+class CrossTraffic {
+ public:
+  struct Config {
+    std::uint32_t flow_id = 9999;
+    double mean_off_s = 0.35;      // mean gap between bursts
+    double mean_on_s = 0.025;      // mean burst duration
+    double min_rate_bps = 200e6;   // burst rate drawn uniformly
+    double max_rate_bps = 1200e6;
+    std::uint32_t packet_bytes = 1500;
+  };
+
+  /// Emits into `link` (sharing its drop-tail queue with foreground flows).
+  CrossTraffic(sim::Simulator* simulator, Link* link, Config config,
+               sim::Rng rng);
+
+  /// Starts the ON/OFF process; runs until `until`.
+  void start(sim::Time until);
+
+  [[nodiscard]] std::uint64_t packets_sent() const noexcept { return sent_; }
+  /// Long-run average offered load in bits/s.
+  [[nodiscard]] double mean_offered_bps() const noexcept;
+
+ private:
+  void begin_off();
+  void begin_on();
+  void emit(double rate_bps, sim::Time burst_end);
+
+  sim::Simulator* sim_;
+  Link* link_;
+  Config config_;
+  sim::Rng rng_;
+  sim::Time until_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace fiveg::net

@@ -1,0 +1,93 @@
+#include "net/link.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fiveg::net {
+namespace {
+
+// While blocked (hand-off outage) or rate-starved, poll again this often.
+constexpr sim::Time kBlockedRetry = sim::from_millis(1);
+
+}  // namespace
+
+Link::Link(sim::Simulator* simulator, Config config, PacketSink* sink)
+    : sim_(simulator),
+      config_(std::move(config)),
+      sink_(sink),
+      queue_(config_.queue_bytes) {
+  if (config_.use_codel) {
+    CoDelQueue::Config ccfg;
+    ccfg.target = config_.codel_target;
+    ccfg.interval = config_.codel_interval;
+    ccfg.capacity_bytes = config_.queue_bytes;
+    codel_ = std::make_unique<CoDelQueue>(ccfg);
+  }
+}
+
+double Link::current_rate_bps() const {
+  return config_.rate_fn ? config_.rate_fn() : config_.rate_bps;
+}
+
+void Link::send(Packet p) {
+  const bool accepted = codel_ ? codel_->push(std::move(p), sim_->now())
+                               : queue_.push(std::move(p));
+  if (!accepted) return;  // dropped on entry
+  if (!transmitting_) try_transmit();
+}
+
+void Link::try_transmit() {
+  const bool empty = codel_ ? codel_->empty() : queue_.empty();
+  if (empty) {
+    transmitting_ = false;
+    return;
+  }
+  transmitting_ = true;
+  if (config_.blocked_fn && config_.blocked_fn()) {
+    // Outage: head-of-line blocks; queue keeps absorbing arrivals.
+    sim_->schedule_in(kBlockedRetry, [this] { try_transmit(); });
+    return;
+  }
+  const double rate = current_rate_bps();
+  if (rate <= 0.0) {
+    sim_->schedule_in(kBlockedRetry, [this] { try_transmit(); });
+    return;
+  }
+  Packet p;
+  if (codel_) {
+    // CoDel may shed its whole backlog while dequeuing.
+    auto popped = codel_->pop(sim_->now());
+    if (!popped) {
+      transmitting_ = false;
+      return;
+    }
+    p = std::move(*popped);
+  } else {
+    p = queue_.pop();
+  }
+  const double bits = 8.0 * static_cast<double>(p.size_bytes);
+  const auto tx_time = static_cast<sim::Time>(
+      bits / rate * static_cast<double>(sim::kSecond));
+  sim_->schedule_in(tx_time, [this, p = std::move(p)]() mutable {
+    finish_transmit(std::move(p));
+  });
+}
+
+void Link::finish_transmit(Packet p) {
+  sim::Time delay = config_.prop_delay;
+  if (config_.extra_delay_fn) delay += config_.extra_delay_fn(p);
+  ++delivered_packets_;
+  delivered_bytes_ += p.size_bytes;
+  if (sink_ != nullptr) {
+    // In-order delivery: per-packet jitter (HARQ retransmissions) delays
+    // followers too, exactly like an RLC reordering buffer would.
+    const sim::Time at = std::max(sim_->now() + delay, last_delivery_at_);
+    last_delivery_at_ = at;
+    sim_->schedule_at(at, [this, p = std::move(p)]() mutable {
+      if (sink_ != nullptr) sink_->deliver(std::move(p));
+    });
+  }
+  try_transmit();
+}
+
+}  // namespace fiveg::net

@@ -1,0 +1,85 @@
+// A simplex link: serialisation at a (possibly time-varying) rate, a
+// drop-tail queue, propagation delay, optional per-packet extra delay
+// (HARQ retransmissions) and an optional outage predicate (hand-off
+// interruptions). Two Links back-to-back make a duplex hop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/aqm.h"
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+
+namespace fiveg::net {
+
+/// One direction of a network hop.
+class Link {
+ public:
+  struct Config {
+    double rate_bps = 1e9;                    // fixed rate when rate_fn empty
+    std::function<double()> rate_fn;          // dynamic rate (RAN links)
+    sim::Time prop_delay = sim::from_millis(0.1);
+    std::uint64_t queue_bytes = 512 * 1024;   // drop-tail capacity
+    // Replace the drop-tail queue with CoDel (the bufferbloat ablation).
+    bool use_codel = false;
+    sim::Time codel_target = 5 * sim::kMillisecond;
+    sim::Time codel_interval = 100 * sim::kMillisecond;
+    // Per-packet extra delivery delay (HARQ retransmissions); sees the
+    // packet so the model can scale block error rate with size.
+    std::function<sim::Time(const Packet&)> extra_delay_fn;
+    std::function<bool()> blocked_fn;         // true while link is in outage
+    std::string name = "link";
+  };
+
+  /// `sink` receives delivered packets; may be changed later.
+  Link(sim::Simulator* simulator, Config config, PacketSink* sink = nullptr);
+
+  void set_sink(PacketSink* sink) noexcept { sink_ = sink; }
+
+  /// Offers a packet: queued for transmission or tail-dropped.
+  void send(Packet p);
+
+  /// Instantaneous transmit rate in bits/s.
+  [[nodiscard]] double current_rate_bps() const;
+
+  // --- statistics ---
+  [[nodiscard]] std::uint64_t delivered_packets() const noexcept {
+    return delivered_packets_;
+  }
+  [[nodiscard]] std::uint64_t delivered_bytes() const noexcept {
+    return delivered_bytes_;
+  }
+  [[nodiscard]] std::uint64_t dropped_packets() const noexcept {
+    return codel_ ? codel_->drops() : queue_.drops();
+  }
+  [[nodiscard]] std::uint64_t max_queue_bytes() const noexcept {
+    return codel_ ? codel_->max_depth_bytes() : queue_.max_depth_bytes();
+  }
+  [[nodiscard]] std::uint64_t queue_bytes() const noexcept {
+    return codel_ ? codel_->size_bytes() : queue_.size_bytes();
+  }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+ private:
+  void try_transmit();
+  void finish_transmit(Packet p);
+
+  sim::Simulator* sim_;
+  Config config_;
+  PacketSink* sink_;
+  DropTailQueue queue_;               // used unless config_.use_codel
+  std::unique_ptr<CoDelQueue> codel_;  // CoDel variant (AQM ablation)
+  bool transmitting_ = false;
+  // Deliveries never reorder (RLC-style in-order delivery): a packet held
+  // up by HARQ also holds back its successors.
+  sim::Time last_delivery_at_ = 0;
+
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t delivered_bytes_ = 0;
+};
+
+}  // namespace fiveg::net

@@ -1,0 +1,75 @@
+// Packets and packet sinks: the currency of the wireline/RAN simulation.
+// Packets are small value types; links and endpoints pass them by value.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fiveg::net {
+
+/// Transport-agnostic packet. TCP/UDP endpoints interpret the fields they
+/// need; links only look at size and TTL.
+struct Packet {
+  std::uint32_t flow_id = 0;     // which flow this belongs to
+  std::uint64_t seq = 0;         // byte offset (TCP) or datagram index (UDP)
+  std::uint32_t size_bytes = 1500;
+  sim::Time sent_at = 0;         // stamped by the sender
+  bool is_ack = false;
+  std::uint64_t ack_seq = 0;     // cumulative ACK (TCP)
+  std::uint64_t sack_high = 0;   // highest byte held by the receiver (SACK)
+  std::uint64_t rcv_total = 0;   // total distinct payload bytes the receiver holds
+  sim::Time echo_ts = 0;         // sender timestamp echoed by the receiver
+  int ttl = 64;                  // decremented per hop; 0 bounces (traceroute)
+  bool is_probe = false;         // traceroute probe flag
+};
+
+/// Anything that can absorb packets.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void deliver(Packet p) = 0;
+};
+
+/// Adapts a callable into a PacketSink.
+class LambdaSink final : public PacketSink {
+ public:
+  explicit LambdaSink(std::function<void(Packet)> fn) : fn_(std::move(fn)) {}
+  void deliver(Packet p) override { fn_(std::move(p)); }
+
+ private:
+  std::function<void(Packet)> fn_;
+};
+
+/// Fans deliveries out to several sinks (a host running several flows —
+/// each endpoint filters by flow id).
+class FanoutSink final : public PacketSink {
+ public:
+  void add(PacketSink* sink) { sinks_.push_back(sink); }
+  void deliver(Packet p) override {
+    for (PacketSink* s : sinks_) s->deliver(p);
+  }
+
+ private:
+  std::vector<PacketSink*> sinks_;
+};
+
+/// Sink that counts and otherwise swallows traffic (a /dev/null host).
+class CountingSink final : public PacketSink {
+ public:
+  void deliver(Packet p) override {
+    ++packets_;
+    bytes_ += p.size_bytes;
+  }
+  [[nodiscard]] std::uint64_t packets() const noexcept { return packets_; }
+  [[nodiscard]] std::uint64_t bytes() const noexcept { return bytes_; }
+
+ private:
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace fiveg::net

@@ -1,0 +1,109 @@
+#include "net/path.h"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace fiveg::net {
+
+// Internal sink gluing a link's output to the path's node logic.
+class PathNetwork::Relay final : public PacketSink {
+ public:
+  Relay(PathNetwork* net, std::size_t node, bool forward)
+      : net_(net), node_(node), forward_(forward) {}
+
+  void deliver(Packet p) override {
+    if (forward_) {
+      net_->arrive_forward(node_, std::move(p));
+    } else {
+      net_->arrive_reverse(node_, std::move(p));
+    }
+  }
+
+ private:
+  PathNetwork* net_;
+  std::size_t node_;
+  bool forward_;
+};
+
+PathNetwork::PathNetwork(sim::Simulator* simulator,
+                         std::vector<Link::Config> hops)
+    : sim_(simulator) {
+  if (hops.empty()) throw std::invalid_argument("path needs at least one hop");
+  const std::size_t n = hops.size();
+  forward_.reserve(n);
+  reverse_.reserve(n);
+  // Forward link i: node i -> node i+1. Reverse link i: node i+1 -> node i.
+  for (std::size_t i = 0; i < n; ++i) {
+    relays_.push_back(std::make_unique<Relay>(this, i + 1, /*forward=*/true));
+    forward_.push_back(
+        std::make_unique<Link>(sim_, hops[i], relays_.back().get()));
+    relays_.push_back(std::make_unique<Relay>(this, i, /*forward=*/false));
+    reverse_.push_back(
+        std::make_unique<Link>(sim_, hops[i], relays_.back().get()));
+  }
+}
+
+PathNetwork::~PathNetwork() = default;
+
+void PathNetwork::send_a_to_b(Packet p) { forward_.front()->send(std::move(p)); }
+
+void PathNetwork::send_b_to_a(Packet p) { reverse_.back()->send(std::move(p)); }
+
+void PathNetwork::probe(std::size_t hop,
+                        std::function<void(sim::Time rtt)> done) {
+  if (hop == 0 || hop > hop_count()) {
+    throw std::invalid_argument("probe hop out of range");
+  }
+  Packet p;
+  p.is_probe = true;
+  p.ttl = static_cast<int>(hop);
+  p.size_bytes = 60;  // the paper probes with minimum-size UDP datagrams
+  p.seq = next_probe_seq_++;
+  p.sent_at = sim_->now();
+  pending_probes_[p.seq] = std::move(done);
+  send_a_to_b(std::move(p));
+}
+
+void PathNetwork::arrive_forward(std::size_t node, Packet p) {
+  assert(node >= 1 && node <= hop_count());
+  --p.ttl;
+  const bool at_host = node == hop_count();
+  if (p.is_probe && (p.ttl <= 0 || at_host)) {
+    // Bounce: ICMP-like reply re-enters the reverse chain at this node.
+    reverse_[node - 1]->send(std::move(p));
+    return;
+  }
+  if (p.ttl <= 0) return;  // expired transit traffic exits the path here
+  if (at_host) {
+    if (b_sink_ != nullptr) b_sink_->deliver(std::move(p));
+    return;
+  }
+  forward_[node]->send(std::move(p));
+}
+
+void PathNetwork::arrive_reverse(std::size_t node, Packet p) {
+  if (node == 0) {
+    if (p.is_probe) {
+      const auto it = pending_probes_.find(p.seq);
+      if (it != pending_probes_.end()) {
+        auto done = std::move(it->second);
+        pending_probes_.erase(it);
+        done(sim_->now() - p.sent_at);
+      }
+      return;
+    }
+    if (a_sink_ != nullptr) a_sink_->deliver(std::move(p));
+    return;
+  }
+  reverse_[node - 1]->send(std::move(p));
+}
+
+std::uint64_t PathNetwork::total_drops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& l : forward_) total += l->dropped_packets();
+  for (const auto& l : reverse_) total += l->dropped_packets();
+  return total;
+}
+
+}  // namespace fiveg::net

@@ -1,0 +1,68 @@
+// A duplex end-to-end path: a chain of hops (each a forward + reverse Link
+// pair) between endpoint A (the UE side) and endpoint B (the server side),
+// with TTL-expiry reflection so traceroute probes measure genuine per-hop
+// round trips through the same queues that carry data.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace fiveg::net {
+
+/// An A <-> B chain of hops.
+class PathNetwork {
+ public:
+  /// One Config per hop; each is instantiated twice (forward + reverse).
+  PathNetwork(sim::Simulator* simulator, std::vector<Link::Config> hops);
+
+  ~PathNetwork();  // out-of-line: Relay is incomplete here
+
+  PathNetwork(const PathNetwork&) = delete;
+  PathNetwork& operator=(const PathNetwork&) = delete;
+
+  /// Sinks for ordinary (non-probe) traffic reaching each endpoint.
+  void attach_a(PacketSink* sink) noexcept { a_sink_ = sink; }
+  void attach_b(PacketSink* sink) noexcept { b_sink_ = sink; }
+
+  /// Injects a packet at an endpoint.
+  void send_a_to_b(Packet p);
+  void send_b_to_a(Packet p);
+
+  /// Sends a traceroute-style probe that bounces at hop `hop` (1-based;
+  /// hop == hop_count() reaches B itself) and reports the measured RTT.
+  void probe(std::size_t hop, std::function<void(sim::Time rtt)> done);
+
+  [[nodiscard]] std::size_t hop_count() const noexcept {
+    return forward_.size();
+  }
+  [[nodiscard]] Link& forward_link(std::size_t i) { return *forward_.at(i); }
+  [[nodiscard]] Link& reverse_link(std::size_t i) { return *reverse_.at(i); }
+
+  /// Total packets tail-dropped anywhere on the path (both directions).
+  [[nodiscard]] std::uint64_t total_drops() const noexcept;
+
+ private:
+  class Relay;
+
+  void arrive_forward(std::size_t node, Packet p);
+  void arrive_reverse(std::size_t node, Packet p);
+
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<Link>> forward_;
+  std::vector<std::unique_ptr<Link>> reverse_;
+  std::vector<std::unique_ptr<Relay>> relays_;
+  PacketSink* a_sink_ = nullptr;
+  PacketSink* b_sink_ = nullptr;
+
+  std::uint64_t next_probe_seq_ = 1;
+  std::map<std::uint64_t, std::function<void(sim::Time)>> pending_probes_;
+};
+
+}  // namespace fiveg::net

@@ -1,0 +1,27 @@
+#include "net/queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fiveg::net {
+
+bool DropTailQueue::push(Packet p) {
+  if (bytes_ + p.size_bytes > capacity_bytes_) {
+    ++drops_;
+    return false;
+  }
+  bytes_ += p.size_bytes;
+  max_depth_bytes_ = std::max(max_depth_bytes_, bytes_);
+  q_.push_back(std::move(p));
+  return true;
+}
+
+Packet DropTailQueue::pop() {
+  assert(!q_.empty());
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  bytes_ -= p.size_bytes;
+  return p;
+}
+
+}  // namespace fiveg::net

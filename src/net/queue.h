@@ -1,0 +1,45 @@
+// Drop-tail FIFO queue measured in bytes — the paper's buffer-sizing
+// analysis (Table 3) is in buffered bytes (60-byte probe packets), and the
+// TCP anomaly hinges on byte capacity vs the path's bandwidth-delay product.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.h"
+
+namespace fiveg::net {
+
+/// Bounded FIFO with tail drop.
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(std::uint64_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+
+  /// Enqueues if it fits; returns false (and drops) otherwise.
+  bool push(Packet p);
+
+  /// Pops the head. Precondition: !empty().
+  [[nodiscard]] Packet pop();
+
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+  [[nodiscard]] std::size_t size_packets() const noexcept { return q_.size(); }
+  [[nodiscard]] std::uint64_t size_bytes() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t capacity_bytes() const noexcept {
+    return capacity_bytes_;
+  }
+
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] std::uint64_t max_depth_bytes() const noexcept {
+    return max_depth_bytes_;
+  }
+
+ private:
+  std::uint64_t capacity_bytes_;
+  std::deque<Packet> q_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t max_depth_bytes_ = 0;
+};
+
+}  // namespace fiveg::net

@@ -1,0 +1,49 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fiveg::net {
+
+const std::vector<ServerInfo>& speedtest_servers() {
+  // Table 6 of the paper (Appendix C), verbatim.
+  static const std::vector<ServerInfo> kServers = {
+      {5145, "Beijing Unicom", "Beijing", 1.67},
+      {27154, "China Unicom 5G", "Tianjin", 111.65},
+      {5039, "China Unicom Jinan Branch", "Jinan", 366.42},
+      {25728, "China Mobile Liaoning Branch Dalian", "Dalian", 462.77},
+      {27100, "Shandong CMCC 5G", "Qingdao", 553.80},
+      {5396, "China Telecom Jiangsu 5G", "Suzhou", 638.00},
+      {16375, "China Mobile Jilin", "Changchun", 859.32},
+      {5724, "China Unicom", "Hefei", 900.06},
+      {5485, "China Unicom Hubei Branch", "Wuhan", 1056.52},
+      {4690, "China Unicom Lanzhou Branch Co.Ltd", "Lanzhou", 1183.99},
+      {6715, "China Mobile Zhejiang 5G", "Ningbo", 1213.23},
+      {4870, "Changsha Hunan Unicom Server1", "Changsha", 1341.73},
+      {5530, "CCN", "Chongqing", 1459.16},
+      {4884, "China Unicom Fujian", "Fuzhou", 1563.93},
+      {16398, "China Mobile Guizhou", "Guiyang", 1730.12},
+      {26678, "Guangzhou Unicom 5G", "Guangzhou", 1890.52},
+      {5674, "GX Unicom", "Nanning", 2048.98},
+      {16503, "China Mobile Hainan", "Haikou", 2285.12},
+      {27575, "Xinjiang Telecom Cloud", "Urumqi", 2404.00},
+      {17245, "China Mobile Group Xinjiang", "Kashi", 3426.37},
+  };
+  return kServers;
+}
+
+CellularPathOptions make_server_path_options(radio::Rat rat,
+                                             const ServerInfo& server) {
+  CellularPathOptions opt;
+  opt.rat = rat;
+  opt.ran.rat = rat;
+  opt.ran.bitrate_bps = rat == radio::Rat::kNr ? 880e6 : 130e6;
+  opt.server_distance_km = server.distance_km;
+  // Hop count grows with distance: metro (5-6 hops) through national
+  // backbone (up to ~10), roughly log in distance like real traceroutes.
+  opt.wired_hops = static_cast<int>(
+      std::clamp(4.0 + std::log10(1.0 + server.distance_km) * 1.8, 5.0, 11.0));
+  return opt;
+}
+
+}  // namespace fiveg::net

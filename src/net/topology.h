@@ -1,0 +1,29 @@
+// The paper's wide-area measurement endpoints: the 20 SPEEDTEST servers of
+// Table 6 (Appendix C), used for the RTT-vs-distance study (Fig. 15), plus
+// a helper that stamps out a path to one of them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/epc.h"
+
+namespace fiveg::net {
+
+/// One Table-6 server.
+struct ServerInfo {
+  int id;
+  std::string name;
+  std::string city;
+  double distance_km;  // geographic distance from the campus
+};
+
+/// The 20 servers of Table 6, ordered by distance (1.67 km .. 3426 km).
+[[nodiscard]] const std::vector<ServerInfo>& speedtest_servers();
+
+/// Path options for reaching `server` over `rat`: hop count grows slowly
+/// with distance (regional vs national backbone).
+[[nodiscard]] CellularPathOptions make_server_path_options(
+    radio::Rat rat, const ServerInfo& server);
+
+}  // namespace fiveg::net

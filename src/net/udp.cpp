@@ -1,0 +1,54 @@
+#include "net/udp.h"
+
+#include <utility>
+
+namespace fiveg::net {
+
+UdpSource::UdpSource(sim::Simulator* simulator, Config config,
+                     std::function<void(Packet)> emit)
+    : sim_(simulator), config_(config), emit_(std::move(emit)) {}
+
+void UdpSource::start(sim::Time duration) {
+  stop_at_ = sim_->now() + duration;
+  emit_next();
+}
+
+void UdpSource::emit_next() {
+  if (sim_->now() >= stop_at_) return;
+  Packet p;
+  p.flow_id = config_.flow_id;
+  p.seq = sent_;
+  p.size_bytes = config_.packet_bytes;
+  p.sent_at = sim_->now();
+  emit_(std::move(p));
+  ++sent_;
+  const double bits = 8.0 * config_.packet_bytes;
+  const auto gap = static_cast<sim::Time>(
+      bits / config_.rate_bps * static_cast<double>(sim::kSecond));
+  sim_->schedule_in(gap, [this] { emit_next(); });
+}
+
+void UdpSink::deliver(Packet p) {
+  if (p.flow_id != flow_id_) return;  // cross traffic shares the sink host
+  ++received_;
+  bytes_ += p.size_bytes;
+  arrival_seqs_.push_back(p.seq);
+  byte_log_.add(sim_->now(), 8.0 * p.size_bytes);
+}
+
+double UdpSink::loss_ratio(std::uint64_t sent) const noexcept {
+  if (sent == 0) return 0.0;
+  if (received_ >= sent) return 0.0;
+  return static_cast<double>(sent - received_) / static_cast<double>(sent);
+}
+
+double UdpSink::mean_throughput_bps(sim::Time from, sim::Time to) const {
+  if (to <= from) return 0.0;
+  double bits = 0.0;
+  for (const measure::TimePoint& pt : byte_log_.points()) {
+    if (pt.at >= from && pt.at <= to) bits += pt.value;
+  }
+  return bits / sim::to_seconds(to - from);
+}
+
+}  // namespace fiveg::net

@@ -1,0 +1,27 @@
+#include "radio/antenna.h"
+
+#include <algorithm>
+
+namespace fiveg::radio {
+
+SectorAntenna::SectorAntenna(double azimuth_deg, double beamwidth_deg,
+                             double max_gain_dbi, double front_back_db)
+    : azimuth_deg_(azimuth_deg),
+      beamwidth_deg_(beamwidth_deg),
+      max_gain_dbi_(max_gain_dbi),
+      front_back_db_(front_back_db) {}
+
+double SectorAntenna::gain_dbi(double toward_deg) const noexcept {
+  // 3GPP TR 36.814 horizontal pattern: A(theta) = -min(12 (theta/bw)^2, Am).
+  const double theta = geo::angle_diff_deg(toward_deg, azimuth_deg_);
+  const double rel = theta / beamwidth_deg_;
+  const double attenuation = std::min(12.0 * rel * rel, front_back_db_);
+  return max_gain_dbi_ - attenuation;
+}
+
+double SectorAntenna::gain_toward(const geo::Point& from,
+                                  const geo::Point& to) const noexcept {
+  return gain_dbi(geo::azimuth_deg(from, to));
+}
+
+}  // namespace fiveg::radio

@@ -1,0 +1,36 @@
+// Sectorised base-station antennas: the fan-shaped gain pattern whose
+// limited field of view the paper identifies as one cause of coverage
+// defects (its locations B and C fall outside any sector's FoV).
+#pragma once
+
+#include "geo/geometry.h"
+
+namespace fiveg::radio {
+
+/// Standard 3GPP parabolic sector pattern in azimuth.
+class SectorAntenna {
+ public:
+  /// `azimuth_deg`: boresight direction; `beamwidth_deg`: 3 dB width
+  /// (65 deg typical); `max_gain_dbi`; `front_back_db`: attenuation floor.
+  SectorAntenna(double azimuth_deg, double beamwidth_deg = 65.0,
+                double max_gain_dbi = 17.0, double front_back_db = 18.0);
+
+  /// Gain toward absolute direction `toward_deg`, dBi.
+  [[nodiscard]] double gain_dbi(double toward_deg) const noexcept;
+
+  /// Gain from antenna at `from` toward point `to`, dBi.
+  [[nodiscard]] double gain_toward(const geo::Point& from,
+                                   const geo::Point& to) const noexcept;
+
+  [[nodiscard]] double azimuth_deg() const noexcept { return azimuth_deg_; }
+  [[nodiscard]] double beamwidth_deg() const noexcept { return beamwidth_deg_; }
+  [[nodiscard]] double max_gain_dbi() const noexcept { return max_gain_dbi_; }
+
+ private:
+  double azimuth_deg_;
+  double beamwidth_deg_;
+  double max_gain_dbi_;
+  double front_back_db_;
+};
+
+}  // namespace fiveg::radio

@@ -1,0 +1,62 @@
+#include "radio/link_budget.h"
+
+#include <cmath>
+
+#include "radio/pathloss.h"
+
+namespace fiveg::radio {
+namespace {
+
+double db_to_linear(double db) noexcept { return std::pow(10.0, db / 10.0); }
+double linear_to_db(double lin) noexcept { return 10.0 * std::log10(lin); }
+
+// Shadowing offsets so the two bands draw distinct fields from one seed.
+constexpr std::uint64_t kLteFieldSalt = 0x17e'000;
+constexpr std::uint64_t kNrFieldSalt = 0x5f9'000;
+
+}  // namespace
+
+RadioEnvironment::RadioEnvironment(const geo::CampusMap* campus,
+                                   std::uint64_t seed, double sigma_db,
+                                   double corr_dist_m)
+    : campus_(campus),
+      shadow_lte_(seed ^ kLteFieldSalt, sigma_db, corr_dist_m),
+      shadow_nr_(seed ^ kNrFieldSalt, sigma_db, corr_dist_m) {}
+
+const ShadowingField& RadioEnvironment::field_for(
+    const CarrierConfig& c) const noexcept {
+  return c.rat == Rat::kLte ? shadow_lte_ : shadow_nr_;
+}
+
+double RadioEnvironment::path_gain_db(const CarrierConfig& c, const TxSite& tx,
+                                      const geo::Point& ue) const noexcept {
+  const geo::Segment path{tx.pos, ue};
+  const bool los = campus_->has_los(path);
+  const double pl = campus_pathloss_db(path.length(), c.freq_ghz, los);
+  // Outdoor blockage is statistically inside the NLoS fit; explicit
+  // penetration applies only when the UE itself is indoors (O2I).
+  const double pen = campus_->o2i_loss_db(ue, c.freq_ghz);
+  // The shadowing field is sampled at the UE end; using one end keeps the
+  // field consistent when comparing co-sited cells from the same spot.
+  const double shadow = field_for(c).at(ue);
+  return tx.antenna.gain_toward(tx.pos, ue) - pl - pen - shadow;
+}
+
+double RadioEnvironment::rsrp_dbm(const CarrierConfig& c, const TxSite& tx,
+                                  const geo::Point& ue) const noexcept {
+  return c.tx_re_power_dbm + path_gain_db(c, tx, ue);
+}
+
+double RadioEnvironment::sinr_db(const CarrierConfig& c, const TxSite& serving,
+                                 const geo::Point& ue,
+                                 const std::vector<TxSite>& interferers,
+                                 double interferer_load) const noexcept {
+  const double s = db_to_linear(rsrp_dbm(c, serving, ue));
+  double denom = db_to_linear(c.noise_per_re_dbm());
+  for (const TxSite& i : interferers) {
+    denom += interferer_load * db_to_linear(rsrp_dbm(c, i, ue));
+  }
+  return linear_to_db(s / denom);
+}
+
+}  // namespace fiveg::radio

@@ -1,0 +1,59 @@
+// Link budget: combines carrier, antenna, geometry, path loss, penetration
+// and shadowing into the KPIs the paper measures — RSRP, SINR, RSRQ and
+// achievable bit-rate — for any transmitter/UE position pair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/campus.h"
+#include "radio/antenna.h"
+#include "radio/carrier.h"
+#include "radio/shadowing.h"
+
+namespace fiveg::radio {
+
+/// One radiating sector: a position plus its antenna.
+struct TxSite {
+  geo::Point pos;
+  SectorAntenna antenna;
+};
+
+/// Radio propagation environment over a campus. Holds per-band shadowing
+/// fields (shadowing decorrelates across the 1.8 / 3.5 GHz bands).
+class RadioEnvironment {
+ public:
+  /// `campus` must outlive the environment.
+  RadioEnvironment(const geo::CampusMap* campus, std::uint64_t seed,
+                   double sigma_db = 6.0, double corr_dist_m = 50.0);
+
+  /// End-to-end channel gain in dB (negative): antenna gain minus path
+  /// loss, wall penetration and shadowing.
+  [[nodiscard]] double path_gain_db(const CarrierConfig& c, const TxSite& tx,
+                                    const geo::Point& ue) const noexcept;
+
+  /// Reference-signal received power at the UE, dBm.
+  [[nodiscard]] double rsrp_dbm(const CarrierConfig& c, const TxSite& tx,
+                                const geo::Point& ue) const noexcept;
+
+  /// SINR with co-channel interference from `interferers` (all transmitting
+  /// at `interferer_load` activity factor) plus thermal noise.
+  [[nodiscard]] double sinr_db(const CarrierConfig& c, const TxSite& serving,
+                               const geo::Point& ue,
+                               const std::vector<TxSite>& interferers,
+                               double interferer_load = 0.5) const noexcept;
+
+  [[nodiscard]] const geo::CampusMap& campus() const noexcept {
+    return *campus_;
+  }
+
+ private:
+  [[nodiscard]] const ShadowingField& field_for(
+      const CarrierConfig& c) const noexcept;
+
+  const geo::CampusMap* campus_;
+  ShadowingField shadow_lte_;
+  ShadowingField shadow_nr_;
+};
+
+}  // namespace fiveg::radio

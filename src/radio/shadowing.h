@@ -1,0 +1,34 @@
+// Spatially correlated log-normal shadowing. The field is a deterministic
+// function of (seed, position): lattice nodes get hashed Gaussian values and
+// intermediate points interpolate bilinearly, giving an exponential-like
+// correlation over the decorrelation distance without storing any state.
+#pragma once
+
+#include <cstdint>
+
+#include "geo/geometry.h"
+
+namespace fiveg::radio {
+
+/// Deterministic correlated shadowing field.
+class ShadowingField {
+ public:
+  /// `sigma_db`: standard deviation of the field; `corr_dist_m`: lattice
+  /// spacing (≈ decorrelation distance, 3GPP suggests ~50 m for UMa).
+  ShadowingField(std::uint64_t seed, double sigma_db, double corr_dist_m);
+
+  /// Shadowing in dB at a position (positive = extra loss).
+  [[nodiscard]] double at(const geo::Point& p) const noexcept;
+
+  [[nodiscard]] double sigma_db() const noexcept { return sigma_db_; }
+
+ private:
+  [[nodiscard]] double node_value(std::int64_t ix,
+                                  std::int64_t iy) const noexcept;
+
+  std::uint64_t seed_;
+  double sigma_db_;
+  double corr_dist_m_;
+};
+
+}  // namespace fiveg::radio

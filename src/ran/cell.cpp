@@ -1,0 +1,55 @@
+#include "ran/cell.h"
+
+#include <cmath>
+
+#include "radio/mcs.h"
+
+namespace fiveg::ran {
+
+bool CellMeasurement::in_coverage() const noexcept {
+  return cell != nullptr && rsrp_dbm >= radio::kServiceRsrpFloorDbm;
+}
+
+std::vector<CellMeasurement> measure_cells(
+    const radio::RadioEnvironment& env, const radio::CarrierConfig& carrier,
+    const std::vector<Cell>& cells, const geo::Point& ue,
+    double interferer_load) {
+  // Evaluate each cell's RSRP once; every other cell interferes with it, so
+  // SINR falls out of the running total (keeps a 34-cell sweep O(n)).
+  std::vector<CellMeasurement> out;
+  out.reserve(cells.size());
+  double total_linear_mw = 0.0;
+  std::vector<double> linear_mw;
+  linear_mw.reserve(cells.size());
+  for (const Cell& c : cells) {
+    CellMeasurement m;
+    m.cell = &c;
+    m.rsrp_dbm = env.rsrp_dbm(carrier, c.site, ue);
+    const double lin = std::pow(10.0, m.rsrp_dbm / 10.0);
+    linear_mw.push_back(lin);
+    total_linear_mw += lin;
+    out.push_back(m);
+  }
+  const double noise_mw = std::pow(10.0, carrier.noise_per_re_dbm() / 10.0);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double interference =
+        interferer_load * (total_linear_mw - linear_mw[i]);
+    out[i].sinr_db = 10.0 * std::log10(linear_mw[i] / (noise_mw + interference));
+    out[i].rsrq_db = radio::rsrq_db_from_sinr(out[i].sinr_db);
+  }
+  return out;
+}
+
+CellMeasurement best_cell(const radio::RadioEnvironment& env,
+                          const radio::CarrierConfig& carrier,
+                          const std::vector<Cell>& cells, const geo::Point& ue,
+                          double interferer_load) {
+  CellMeasurement best;
+  for (const CellMeasurement& m :
+       measure_cells(env, carrier, cells, ue, interferer_load)) {
+    if (best.cell == nullptr || m.rsrp_dbm > best.rsrp_dbm) best = m;
+  }
+  return best;
+}
+
+}  // namespace fiveg::ran

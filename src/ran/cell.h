@@ -1,0 +1,45 @@
+// Cells: one radiating sector of a base station, identified by its PCI
+// (physical cell indicator) exactly as XCAL reports them in the paper.
+#pragma once
+
+#include <vector>
+
+#include "radio/carrier.h"
+#include "radio/link_budget.h"
+
+namespace fiveg::ran {
+
+/// One sector (cell) of an eNB/gNB site.
+struct Cell {
+  int pci = 0;             // physical cell indicator
+  int site_id = 0;         // which eNB/gNB mast this sector hangs on
+  radio::Rat rat = radio::Rat::kNr;
+  radio::TxSite site{{0, 0}, radio::SectorAntenna(0.0)};
+};
+
+/// A UE-side measurement of one cell, the tuple XCAL logs per sample.
+struct CellMeasurement {
+  const Cell* cell = nullptr;
+  double rsrp_dbm = -140.0;
+  double rsrq_db = -25.0;
+  double sinr_db = -10.0;
+
+  /// True when the cell can provide service (paper: RSRP >= -105 dBm).
+  [[nodiscard]] bool in_coverage() const noexcept;
+};
+
+/// Measures every cell in `cells` (all same RAT, co-channel) from `ue`,
+/// treating all other cells as interferers at `interferer_load`.
+[[nodiscard]] std::vector<CellMeasurement> measure_cells(
+    const radio::RadioEnvironment& env, const radio::CarrierConfig& carrier,
+    const std::vector<Cell>& cells, const geo::Point& ue,
+    double interferer_load = 0.5);
+
+/// The strongest cell by RSRP, or nullptr-celled measurement when `cells`
+/// is empty.
+[[nodiscard]] CellMeasurement best_cell(
+    const radio::RadioEnvironment& env, const radio::CarrierConfig& carrier,
+    const std::vector<Cell>& cells, const geo::Point& ue,
+    double interferer_load = 0.5);
+
+}  // namespace fiveg::ran

@@ -1,0 +1,74 @@
+// The campus deployment: 13 LTE eNBs (34 sectors) and 6 co-sited NR gNBs
+// (13 sectors), the NSA layout of the paper's Table 1 and Fig. 2. All
+// existing gNBs share a mast with an eNB; not every eNB has a gNB — the
+// asymmetry behind the paper's coverage-hole comparison.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/campus.h"
+#include "radio/link_budget.h"
+#include "ran/cell.h"
+#include "sim/rng.h"
+
+namespace fiveg::ran {
+
+/// Immutable campus network: sites, sectors and the propagation env.
+class Deployment {
+ public:
+  Deployment(const geo::CampusMap* campus, std::uint64_t seed,
+             std::vector<Cell> lte_cells, std::vector<Cell> nr_cells);
+
+  [[nodiscard]] const geo::CampusMap& campus() const noexcept {
+    return *campus_;
+  }
+  [[nodiscard]] const radio::RadioEnvironment& env() const noexcept {
+    return env_;
+  }
+  [[nodiscard]] const std::vector<Cell>& cells(radio::Rat rat) const noexcept {
+    return rat == radio::Rat::kLte ? lte_cells_ : nr_cells_;
+  }
+  [[nodiscard]] const radio::CarrierConfig& carrier(
+      radio::Rat rat) const noexcept {
+    return rat == radio::Rat::kLte ? lte_carrier_ : nr_carrier_;
+  }
+
+  /// Measures all cells of `rat` from `ue`.
+  [[nodiscard]] std::vector<CellMeasurement> measure(
+      radio::Rat rat, const geo::Point& ue) const;
+
+  /// Strongest cell of `rat` at `ue`.
+  [[nodiscard]] CellMeasurement best(radio::Rat rat,
+                                     const geo::Point& ue) const;
+
+  /// LTE cells restricted to the sites that also host a gNB (the paper's
+  /// "4G (6 eNBs)" column in Table 2).
+  [[nodiscard]] std::vector<Cell> lte_cells_cosited_with_nr() const;
+
+  /// Achievable DL bit-rate of the best `rat` cell at `ue`, bits/s,
+  /// holding `prb_fraction` of the carrier. Zero outside coverage.
+  [[nodiscard]] double dl_bitrate_bps(radio::Rat rat, const geo::Point& ue,
+                                      double prb_fraction = 1.0) const;
+
+  /// Number of distinct sites carrying this RAT.
+  [[nodiscard]] int site_count(radio::Rat rat) const;
+
+ private:
+  const geo::CampusMap* campus_;
+  radio::RadioEnvironment env_;
+  radio::CarrierConfig lte_carrier_;
+  radio::CarrierConfig nr_carrier_;
+  std::vector<Cell> lte_cells_;
+  std::vector<Cell> nr_cells_;
+};
+
+/// Builds the paper's deployment on `campus`: 13 eNB sites on a jittered
+/// grid, `gnb_sites` of which (spread out, default 6) also host a gNB;
+/// 34 LTE sectors and 2-3 NR sectors per gNB with paper-matching PCIs
+/// (60.. for NR). `gnb_sites` > 6 models the densification the paper says
+/// would close the coverage holes; it is capped at the 13 eNB masts.
+[[nodiscard]] Deployment make_deployment(const geo::CampusMap* campus,
+                                         sim::Rng rng, int gnb_sites = 6);
+
+}  // namespace fiveg::ran

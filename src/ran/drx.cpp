@@ -1,0 +1,35 @@
+#include "ran/drx.h"
+
+namespace fiveg::ran {
+
+RadioActivity connected_activity(const DrxConfig& drx,
+                                 sim::Time since_activity) {
+  if (since_activity < 0) return RadioActivity::kTransfer;
+  if (since_activity < drx.inactivity) {
+    // Inactivity timer still running: receiver fully on.
+    return RadioActivity::kTailAwake;
+  }
+  if (since_activity >= drx.tail) {
+    // Tail expired; caller should have moved to idle. Report paging sleep
+    // so a stale query is still safe.
+    return RadioActivity::kPagingSleep;
+  }
+  const sim::Time in_cycle =
+      (since_activity - drx.inactivity) % drx.long_drx_cycle;
+  return in_cycle < drx.on_duration ? RadioActivity::kTailAwake
+                                    : RadioActivity::kTailSleep;
+}
+
+RadioActivity idle_activity(const DrxConfig& drx, sim::Time since_idle_start) {
+  if (since_idle_start < 0) since_idle_start = 0;
+  const sim::Time in_cycle = since_idle_start % drx.paging_cycle;
+  return in_cycle < drx.on_duration ? RadioActivity::kPagingAwake
+                                    : RadioActivity::kPagingSleep;
+}
+
+double tail_duty_cycle(const DrxConfig& drx) noexcept {
+  return static_cast<double>(drx.on_duration) /
+         static_cast<double>(drx.long_drx_cycle);
+}
+
+}  // namespace fiveg::ran

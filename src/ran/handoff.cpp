@@ -1,0 +1,259 @@
+#include "ran/handoff.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace fiveg::ran {
+
+HandoffEngine::HandoffEngine(sim::Simulator* simulator,
+                             const Deployment* deployment,
+                             MobilityConfig config, sim::Rng rng,
+                             measure::KpiLogger* logger)
+    : sim_(simulator),
+      dep_(deployment),
+      config_(config),
+      rng_(rng),
+      log_(logger),
+      nsa_(config.nsa),
+      a3_nr_(config.a3),
+      a3_lte_(config.a3) {}
+
+void HandoffEngine::start(geo::Route route) {
+  route_ = std::move(route);
+  route_start_ = sim_->now();
+
+  // Initial attachment: camp on the best LTE cell; the NSA controller will
+  // add the NR leg on its own dwell timer.
+  const geo::Point pos = position_at(sim_->now());
+  const CellMeasurement best_lte = dep_->best(radio::Rat::kLte, pos);
+  lte_ = best_lte.cell;
+  nr_ = nullptr;
+
+  sim_->schedule_in(0, [this] { step(); });
+}
+
+geo::Point HandoffEngine::position_at(sim::Time at) const {
+  assert(route_.has_value());
+  const double walked =
+      config_.speed_mps * sim::to_seconds(std::max<sim::Time>(at - route_start_, 0));
+  return route_->position_at(walked);
+}
+
+bool HandoffEngine::data_interrupted(sim::Time at) const noexcept {
+  // Interruptions are appended in time order and never overlap (only one
+  // hand-off runs at a time), so binary-search the latest one starting at
+  // or before `at`.
+  const auto it = std::upper_bound(
+      interruptions_.begin(), interruptions_.end(), at,
+      [](sim::Time t, const Interruption& i) { return t < i.begin; });
+  if (it == interruptions_.begin()) return false;
+  return at < std::prev(it)->end;
+}
+
+const Cell* HandoffEngine::anchor_for(const Cell& nr_cell,
+                                      const geo::Point& ue) const {
+  const Cell* best = nullptr;
+  double best_rsrp = -1e9;
+  for (const Cell& c : dep_->cells(radio::Rat::kLte)) {
+    if (c.site_id != nr_cell.site_id) continue;
+    const double rsrp =
+        dep_->env().rsrp_dbm(dep_->carrier(radio::Rat::kLte), c.site, ue);
+    if (best == nullptr || rsrp > best_rsrp) {
+      best = &c;
+      best_rsrp = rsrp;
+    }
+  }
+  return best != nullptr ? best : lte_;
+}
+
+void HandoffEngine::log_kpis(const geo::Point& ue,
+                             const std::vector<CellMeasurement>& lte_meas,
+                             const std::vector<CellMeasurement>& nr_meas) {
+  if (log_ == nullptr) return;
+  const sim::Time now = sim_->now();
+  log_->log("ue_x_m", now, ue.x);
+  log_->log("ue_y_m", now, ue.y);
+  const auto log_rat = [&](const char* prefix, const Cell* serving,
+                           const std::vector<CellMeasurement>& meas) {
+    const CellMeasurement* sm = nullptr;
+    const CellMeasurement* best_other = nullptr;
+    for (const CellMeasurement& m : meas) {
+      if (m.cell == serving) {
+        sm = &m;
+      } else if (best_other == nullptr || m.rsrq_db > best_other->rsrq_db) {
+        best_other = &m;
+      }
+    }
+    if (sm != nullptr) {
+      log_->log(std::string(prefix) + "_serving_rsrp_dbm", now, sm->rsrp_dbm);
+      log_->log(std::string(prefix) + "_serving_rsrq_db", now, sm->rsrq_db);
+      log_->log(std::string(prefix) + "_serving_pci", now, sm->cell->pci);
+    }
+    if (best_other != nullptr) {
+      log_->log(std::string(prefix) + "_neighbor_rsrq_db", now,
+                best_other->rsrq_db);
+      log_->log(std::string(prefix) + "_neighbor_pci", now,
+                best_other->cell->pci);
+    }
+  };
+  log_rat("lte", lte_, lte_meas);
+  log_rat("nr", nr_, nr_meas);
+}
+
+void HandoffEngine::step() {
+  const sim::Time now = sim_->now();
+  const double walked = config_.speed_mps * sim::to_seconds(now - route_start_);
+  if (walked > route_->length_m()) return;  // route done: stop sampling
+
+  const geo::Point pos = route_->position_at(walked);
+  const auto lte_meas = dep_->measure(radio::Rat::kLte, pos);
+  const auto nr_meas = dep_->measure(radio::Rat::kNr, pos);
+  log_kpis(pos, lte_meas, nr_meas);
+
+  if (!ho_in_progress_) {
+    // --- Vertical transitions (NSA leg add/drop) ---
+    const CellMeasurement* best_nr = nullptr;
+    for (const CellMeasurement& m : nr_meas) {
+      if (best_nr == nullptr || m.rsrp_dbm > best_nr->rsrp_dbm) best_nr = &m;
+    }
+    const double best_nr_rsrp = best_nr != nullptr ? best_nr->rsrp_dbm : -140.0;
+    if (const auto vertical = nsa_.update(now, best_nr_rsrp)) {
+      if (*vertical == HandoffType::k4G5G) {
+        double before = -25.0;
+        for (const CellMeasurement& m : lte_meas) {
+          if (m.cell == lte_) before = m.rsrq_db;
+        }
+        begin_handoff(HandoffType::k4G5G, lte_, best_nr->cell, before);
+      } else {
+        double before = -25.0;
+        for (const CellMeasurement& m : nr_meas) {
+          if (m.cell == nr_) before = m.rsrq_db;
+        }
+        begin_handoff(HandoffType::k5G4G, nr_, lte_, before);
+      }
+    } else if (nr_ != nullptr) {
+      // --- Horizontal 5G-5G via A3 on RSRQ ---
+      const CellMeasurement* serving = nullptr;
+      const CellMeasurement* neighbor = nullptr;
+      for (const CellMeasurement& m : nr_meas) {
+        if (m.cell == nr_) {
+          serving = &m;
+        } else if (neighbor == nullptr || m.rsrq_db > neighbor->rsrq_db) {
+          neighbor = &m;
+        }
+      }
+      if (serving != nullptr && neighbor != nullptr &&
+          a3_nr_.update(now, serving->rsrq_db, neighbor->rsrq_db)) {
+        if (log_ != nullptr) {
+          log_->log_event(now, "A3_TRIGGER",
+                          "nr pci=" + std::to_string(serving->cell->pci) +
+                              " -> pci=" + std::to_string(neighbor->cell->pci));
+        }
+        begin_handoff(HandoffType::k5G5G, nr_, neighbor->cell,
+                      serving->rsrq_db);
+      }
+    } else {
+      // --- Horizontal 4G-4G via A3 on RSRQ ---
+      const CellMeasurement* serving = nullptr;
+      const CellMeasurement* neighbor = nullptr;
+      for (const CellMeasurement& m : lte_meas) {
+        if (m.cell == lte_) {
+          serving = &m;
+        } else if (neighbor == nullptr || m.rsrq_db > neighbor->rsrq_db) {
+          neighbor = &m;
+        }
+      }
+      if (serving != nullptr && neighbor != nullptr &&
+          a3_lte_.update(now, serving->rsrq_db, neighbor->rsrq_db)) {
+        if (log_ != nullptr) {
+          log_->log_event(now, "A3_TRIGGER",
+                          "lte pci=" + std::to_string(serving->cell->pci) +
+                              " -> pci=" + std::to_string(neighbor->cell->pci));
+        }
+        begin_handoff(HandoffType::k4G4G, lte_, neighbor->cell,
+                      serving->rsrq_db);
+      }
+    }
+  }
+
+  sim_->schedule_in(config_.sample_period, [this] { step(); });
+}
+
+void HandoffEngine::begin_handoff(HandoffType type, const Cell* from,
+                                  const Cell* to, double quality_before_db) {
+  ho_in_progress_ = true;
+  a3_nr_.reset();
+  a3_lte_.reset();
+
+  const sim::Time latency = sample_handoff_latency(type, rng_);
+  HandoffRecord rec;
+  rec.trigger_at = sim_->now();
+  rec.type = type;
+  rec.from_pci = from != nullptr ? from->pci : -1;
+  rec.to_pci = to != nullptr ? to->pci : -1;
+  rec.latency = latency;
+  rec.quality_before_db = quality_before_db;
+  records_.push_back(rec);
+  interruptions_.push_back({sim_->now(), sim_->now() + latency, type});
+
+  if (log_ != nullptr) {
+    log_->log_event(sim_->now(), "HO_START",
+                    to_string(type) + " " + std::to_string(rec.from_pci) +
+                        " -> " + std::to_string(rec.to_pci));
+  }
+
+  const std::size_t idx = records_.size() - 1;
+  sim_->schedule_in(latency,
+                    [this, idx, type, to] { complete_handoff(idx, type, to); });
+}
+
+void HandoffEngine::complete_handoff(std::size_t record_idx, HandoffType type,
+                                     const Cell* target) {
+  ho_in_progress_ = false;
+  const geo::Point pos = position_at(sim_->now());
+  switch (type) {
+    case HandoffType::k4G4G:
+      lte_ = target;
+      break;
+    case HandoffType::k5G5G:
+      nr_ = target;
+      lte_ = anchor_for(*target, pos);
+      break;
+    case HandoffType::k4G5G:
+      nr_ = target;
+      lte_ = anchor_for(*target, pos);
+      nsa_.complete(type);
+      break;
+    case HandoffType::k5G4G:
+      nr_ = nullptr;
+      nsa_.complete(type);
+      break;
+  }
+  if (log_ != nullptr) {
+    log_->log_event(sim_->now(), "HO_COMPLETE", to_string(type));
+  }
+  sim_->schedule_in(config_.after_sample_delay, [this, record_idx] {
+    sample_quality_after(record_idx);
+  });
+}
+
+void HandoffEngine::sample_quality_after(std::size_t record_idx) {
+  HandoffRecord& rec = records_[record_idx];
+  const double walked =
+      config_.speed_mps * sim::to_seconds(sim_->now() - route_start_);
+  if (walked > route_->length_m()) return;  // run over; leave unrecorded
+  const geo::Point pos = route_->position_at(walked);
+  // Quality of whatever now serves the data plane: NR if attached else LTE.
+  const radio::Rat rat = nr_ != nullptr ? radio::Rat::kNr : radio::Rat::kLte;
+  const Cell* serving = nr_ != nullptr ? nr_ : lte_;
+  for (const CellMeasurement& m : dep_->measure(rat, pos)) {
+    if (m.cell == serving) {
+      rec.quality_after_db = m.rsrq_db;
+      rec.after_recorded = true;
+      return;
+    }
+  }
+}
+
+}  // namespace fiveg::ran

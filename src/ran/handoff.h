@@ -1,0 +1,117 @@
+// The mobility engine: walks a UE along a route through the campus
+// deployment, runs the A3 horizontal hand-off machinery and the NSA
+// vertical add/drop logic, executes hand-offs with the Appendix-A
+// signalling latencies, and records every event — the data source for the
+// paper's Figs. 4, 5, 6 and the hand-off halves of Figs. 7-12.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "geo/route.h"
+#include "measure/kpi_logger.h"
+#include "ran/deployment.h"
+#include "ran/measurement_events.h"
+#include "ran/nsa_signaling.h"
+#include "ran/ue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace fiveg::ran {
+
+/// One executed hand-off.
+struct HandoffRecord {
+  sim::Time trigger_at = 0;
+  HandoffType type = HandoffType::k4G4G;
+  int from_pci = -1;
+  int to_pci = -1;
+  sim::Time latency = 0;          // control-plane duration = data interruption
+  double quality_before_db = 0;   // serving RSRQ at trigger
+  double quality_after_db = 0;    // serving RSRQ shortly after completion
+  bool after_recorded = false;    // false if the run ended too early
+};
+
+/// A data-plane interruption window caused by a hand-off.
+struct Interruption {
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  HandoffType type = HandoffType::k4G4G;
+};
+
+/// Mobility parameters.
+struct MobilityConfig {
+  double speed_mps = 1.5;  // the paper walks/bikes at 3-10 km/h
+  sim::Time sample_period = sim::from_millis(100);
+  A3Config a3;
+  NsaUe::Config nsa;
+  // Delay after hand-off completion at which "quality after" is sampled.
+  sim::Time after_sample_delay = sim::from_millis(500);
+};
+
+/// Event-driven hand-off engine for one UE.
+class HandoffEngine {
+ public:
+  /// All pointers must outlive the engine. `logger` may be null.
+  HandoffEngine(sim::Simulator* simulator, const Deployment* deployment,
+                MobilityConfig config, sim::Rng rng,
+                measure::KpiLogger* logger = nullptr);
+
+  /// Begins walking `route` from the simulator's current time. The engine
+  /// samples until the route is exhausted.
+  void start(geo::Route route);
+
+  [[nodiscard]] const std::vector<HandoffRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const std::vector<Interruption>& interruptions()
+      const noexcept {
+    return interruptions_;
+  }
+
+  /// True while a hand-off is interrupting the data plane at `at`.
+  [[nodiscard]] bool data_interrupted(sim::Time at) const noexcept;
+
+  /// UE position at a simulated time (route start anchored at start()).
+  [[nodiscard]] geo::Point position_at(sim::Time at) const;
+
+  /// Currently attached cells (nullptr when not attached).
+  [[nodiscard]] const Cell* serving_lte() const noexcept { return lte_; }
+  [[nodiscard]] const Cell* serving_nr() const noexcept { return nr_; }
+  [[nodiscard]] bool nr_attached() const noexcept { return nr_ != nullptr; }
+
+ private:
+  void step();
+  void begin_handoff(HandoffType type, const Cell* from, const Cell* to,
+                     double quality_before_db);
+  void complete_handoff(std::size_t record_idx, HandoffType type,
+                        const Cell* target);
+  void sample_quality_after(std::size_t record_idx);
+  /// The LTE anchor that must host a given NR cell (co-sited, strongest).
+  [[nodiscard]] const Cell* anchor_for(const Cell& nr_cell,
+                                       const geo::Point& ue) const;
+  void log_kpis(const geo::Point& ue,
+                const std::vector<CellMeasurement>& lte_meas,
+                const std::vector<CellMeasurement>& nr_meas);
+
+  sim::Simulator* sim_;
+  const Deployment* dep_;
+  MobilityConfig config_;
+  sim::Rng rng_;
+  measure::KpiLogger* log_;
+
+  std::optional<geo::Route> route_;
+  sim::Time route_start_ = 0;
+
+  const Cell* lte_ = nullptr;
+  const Cell* nr_ = nullptr;
+  NsaUe nsa_;
+  A3Detector a3_nr_;
+  A3Detector a3_lte_;
+  bool ho_in_progress_ = false;
+
+  std::vector<HandoffRecord> records_;
+  std::vector<Interruption> interruptions_;
+};
+
+}  // namespace fiveg::ran

@@ -1,0 +1,123 @@
+// 3GPP measurement-report events (Table 5 of the paper). The serving cell
+// configures these; the UE reports them; the network reacts — in the
+// measured ISP's configuration only A3 actually triggers hand-offs, with a
+// 3 dB RSRQ hysteresis sustained for 324 ms.
+#pragma once
+
+#include <string>
+
+#include "sim/time.h"
+
+namespace fiveg::ran {
+
+/// Hand-off related measurement events as defined in 36.331/38.331.
+enum class MeasEventType { kA1, kA2, kA3, kA4, kA5, kB1, kB2 };
+
+/// Human-readable description (mirrors the paper's Table 5).
+[[nodiscard]] std::string describe(MeasEventType t);
+
+/// A3 trigger configuration, per Eq. (1) of the paper:
+///   Mn + Ofn + Ocn - Hys > Ms + Ofs + Ocs + Off
+/// sustained for `time_to_trigger`.
+struct A3Config {
+  double hysteresis_db = 3.0;   // the ISP's configured RSRQ gap
+  double offset_db = 0.0;       // Off + frequency/cell offsets (all 0 here)
+  sim::Time time_to_trigger = sim::from_millis(324);  // ISP's timeToTrigger
+};
+
+/// Threshold event evaluator for A1/A2/A4/B1-style events: fires when a
+/// quality stays above (or below) a threshold for time_to_trigger, with
+/// hysteresis on the leaving side to suppress flapping.
+class ThresholdDetector {
+ public:
+  enum class Direction { kAbove, kBelow };
+
+  ThresholdDetector(Direction direction, double threshold_db,
+                    double hysteresis_db = 1.0,
+                    sim::Time time_to_trigger = sim::from_millis(324))
+      : direction_(direction),
+        threshold_db_(threshold_db),
+        hysteresis_db_(hysteresis_db),
+        time_to_trigger_(time_to_trigger) {}
+
+  /// Feeds one quality sample; true exactly when the event fires. After
+  /// firing, the condition must lapse (past the hysteresis) and re-enter
+  /// before it can fire again — one report per excursion, like the UE's.
+  bool update(sim::Time at, double quality_db);
+
+  void reset() noexcept {
+    entering_since_ = kNotEntering;
+    armed_ = true;
+  }
+
+ private:
+  static constexpr sim::Time kNotEntering = -1;
+
+  [[nodiscard]] bool entered(double q) const noexcept {
+    return direction_ == Direction::kAbove ? q > threshold_db_
+                                           : q < threshold_db_;
+  }
+  [[nodiscard]] bool lapsed(double q) const noexcept {
+    return direction_ == Direction::kAbove
+               ? q < threshold_db_ - hysteresis_db_
+               : q > threshold_db_ + hysteresis_db_;
+  }
+
+  Direction direction_;
+  double threshold_db_;
+  double hysteresis_db_;
+  sim::Time time_to_trigger_;
+  sim::Time entering_since_ = kNotEntering;
+  bool armed_ = true;
+};
+
+/// A5 evaluator: serving below threshold1 while the neighbour is above
+/// threshold2, sustained for time_to_trigger.
+class A5Detector {
+ public:
+  A5Detector(double threshold1_db, double threshold2_db,
+             sim::Time time_to_trigger = sim::from_millis(324))
+      : threshold1_db_(threshold1_db),
+        threshold2_db_(threshold2_db),
+        time_to_trigger_(time_to_trigger) {}
+
+  bool update(sim::Time at, double serving_db, double neighbor_db);
+
+  void reset() noexcept {
+    entering_since_ = kNotEntering;
+    armed_ = true;
+  }
+
+ private:
+  static constexpr sim::Time kNotEntering = -1;
+
+  double threshold1_db_;
+  double threshold2_db_;
+  sim::Time time_to_trigger_;
+  sim::Time entering_since_ = kNotEntering;
+  bool armed_ = true;
+};
+
+/// Stateful A3 evaluator: feed (serving, neighbour) quality samples; fires
+/// once the entering condition holds continuously for time_to_trigger.
+class A3Detector {
+ public:
+  explicit A3Detector(A3Config config = {}) : config_(config) {}
+
+  /// Feeds one measurement pair at time `at`; returns true exactly when
+  /// the event fires (then resets, so a new dwell is required to re-fire).
+  bool update(sim::Time at, double serving_db, double neighbor_db);
+
+  /// Clears any in-progress dwell (e.g. after a hand-off).
+  void reset() noexcept { entering_since_ = kNotEntering; }
+
+  [[nodiscard]] const A3Config& config() const noexcept { return config_; }
+
+ private:
+  static constexpr sim::Time kNotEntering = -1;
+
+  A3Config config_;
+  sim::Time entering_since_ = kNotEntering;
+};
+
+}  // namespace fiveg::ran

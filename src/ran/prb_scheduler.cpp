@@ -1,0 +1,41 @@
+#include "ran/prb_scheduler.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fiveg::ran {
+
+PrbScheduler::PrbScheduler(radio::CarrierConfig carrier, int competing_users)
+    : carrier_(std::move(carrier)),
+      competing_users_(std::max(0, competing_users)) {}
+
+double PrbScheduler::grant_fraction(sim::Rng& rng) const {
+  if (competing_users_ == 0) {
+    // Alone on the carrier: scheduler still withholds a few PRBs for
+    // SIB/paging — the paper sees 260-264 of 264.
+    return rng.uniform(0.985, 1.0);
+  }
+  const double fair = 1.0 / (1.0 + competing_users_);
+  // Proportional-fair jitter around the equal share.
+  const double jittered = fair * rng.uniform(0.8, 1.2);
+  return std::clamp(jittered, 0.0, 1.0);
+}
+
+double observed_prb_fraction(radio::Rat rat, LoadRegime regime,
+                             sim::Rng& rng) {
+  if (rat == radio::Rat::kNr) {
+    // 260-264 of 264 PRBs regardless of time of day.
+    return rng.uniform(260.0, 264.0) / 264.0;
+  }
+  if (regime == LoadRegime::kDay) {
+    return rng.uniform(40.0, 85.0) / 100.0;  // 40-85 of 100 PRBs
+  }
+  return rng.uniform(95.0, 100.0) / 100.0;  // 95-100 of 100 PRBs
+}
+
+int typical_competing_users(radio::Rat rat, LoadRegime regime) {
+  if (rat == radio::Rat::kNr) return 0;  // 5G was nearly empty in 2019/2020
+  return regime == LoadRegime::kDay ? 1 : 0;
+}
+
+}  // namespace fiveg::ran

@@ -1,0 +1,33 @@
+#include "ran/rrc.h"
+
+namespace fiveg::ran {
+
+std::string to_string(RrcState s) {
+  switch (s) {
+    case RrcState::kIdle:
+      return "RRC_IDLE";
+    case RrcState::kConnectedLte:
+      return "RRC_CONNECTED(LTE)";
+    case RrcState::kConnectedNr:
+      return "RRC_CONNECTED(NR)";
+    case RrcState::kInactive:
+      return "RRC_INACTIVE";
+  }
+  return "?";
+}
+
+DrxConfig lte_drx() noexcept {
+  DrxConfig c;
+  c.inactivity = sim::from_millis(80);
+  c.tail = sim::from_millis(10720);
+  return c;
+}
+
+DrxConfig nr_nsa_drx() noexcept {
+  DrxConfig c;
+  c.inactivity = sim::from_millis(100);
+  c.tail = sim::from_millis(21440);
+  return c;
+}
+
+}  // namespace fiveg::ran

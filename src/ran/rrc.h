@@ -1,0 +1,43 @@
+// RRC states and DRX configuration (the paper's Appendix B, Fig. 25 and
+// Table 7). Under NSA, a UE climbing to the NR connected state must pass
+// through the LTE state machine first, and falling back to idle re-runs the
+// LTE tail — the mechanism behind the paper's doubled tail energy.
+#pragma once
+
+#include <string>
+
+#include "sim/time.h"
+
+namespace fiveg::ran {
+
+/// Radio Resource Control states of the NSA UE.
+enum class RrcState {
+  kIdle,          // RRC_IDLE: paging DRX only
+  kConnectedLte,  // RRC_CONNECTED on the LTE anchor
+  kConnectedNr,   // RRC_CONNECTED with the NR leg active
+  kInactive,      // RRC_INACTIVE (SA-only; modelled for the ablation)
+};
+
+[[nodiscard]] std::string to_string(RrcState s);
+
+/// Table 7 of the paper: DRX / promotion / tail timers as observed via
+/// XCAL on the measured network.
+struct DrxConfig {
+  sim::Time paging_cycle = sim::from_millis(1280);   // Tidle
+  sim::Time on_duration = sim::from_millis(10);      // Ton
+  sim::Time lte_promotion = sim::from_millis(623);   // TLTE_pro
+  sim::Time lte_to_nr = sim::from_millis(1238);      // T4r_5r
+  sim::Time nr_promotion = sim::from_millis(1681);   // TNR_pro
+  sim::Time inactivity = sim::from_millis(100);      // Tinac (80/100)
+  sim::Time long_drx_cycle = sim::from_millis(320);  // Tlong
+  sim::Time tail = sim::from_millis(10720);          // Ttail
+};
+
+/// LTE timer set (tail 10.72 s).
+[[nodiscard]] DrxConfig lte_drx() noexcept;
+
+/// NR NSA timer set (tail 21.44 s — the LTE tail runs again after the NR
+/// one, per the paper's Fig. 23 showcase).
+[[nodiscard]] DrxConfig nr_nsa_drx() noexcept;
+
+}  // namespace fiveg::ran

@@ -1,0 +1,42 @@
+#include "ran/ue.h"
+
+namespace fiveg::ran {
+
+std::optional<HandoffType> NsaUe::update(sim::Time at,
+                                         double best_nr_rsrp_dbm) {
+  if (!nr_attached_) {
+    drop_dwell_since_ = kNotDwelling;
+    const bool addable =
+        best_nr_rsrp_dbm >= config_.service_floor_dbm + config_.add_margin_db;
+    if (!addable) {
+      add_dwell_since_ = kNotDwelling;
+      return std::nullopt;
+    }
+    if (add_dwell_since_ == kNotDwelling) add_dwell_since_ = at;
+    if (at - add_dwell_since_ >= config_.time_to_trigger) {
+      add_dwell_since_ = kNotDwelling;
+      return HandoffType::k4G5G;
+    }
+    return std::nullopt;
+  }
+
+  add_dwell_since_ = kNotDwelling;
+  const bool lost = best_nr_rsrp_dbm < config_.service_floor_dbm;
+  if (!lost) {
+    drop_dwell_since_ = kNotDwelling;
+    return std::nullopt;
+  }
+  if (drop_dwell_since_ == kNotDwelling) drop_dwell_since_ = at;
+  if (at - drop_dwell_since_ >= config_.time_to_trigger) {
+    drop_dwell_since_ = kNotDwelling;
+    return HandoffType::k5G4G;
+  }
+  return std::nullopt;
+}
+
+void NsaUe::complete(HandoffType t) noexcept {
+  if (t == HandoffType::k4G5G) nr_attached_ = true;
+  if (t == HandoffType::k5G4G) nr_attached_ = false;
+}
+
+}  // namespace fiveg::ran

@@ -1,0 +1,51 @@
+// NSA UE dual-connectivity state: LTE-only vs dual (LTE anchor + NR
+// secondary), with the hysteresis that decides vertical hand-offs. The
+// horizontal (A3) machinery lives in the hand-off engine; this class only
+// answers "should the NR leg be added or dropped now?".
+#pragma once
+
+#include <optional>
+
+#include "ran/nsa_signaling.h"
+#include "sim/time.h"
+
+namespace fiveg::ran {
+
+/// Dual-connectivity controller for one UE.
+class NsaUe {
+ public:
+  struct Config {
+    // Add the NR leg when its best-cell RSRP exceeds the service floor by
+    // this margin (avoids flapping at the coverage edge)...
+    double add_margin_db = 5.0;
+    // ...and drop it when RSRP falls below the floor.
+    double service_floor_dbm = -105.0;
+    // Both conditions must hold for this long (B1-style time-to-trigger).
+    sim::Time time_to_trigger = sim::from_millis(200);
+  };
+
+  NsaUe() = default;
+  explicit NsaUe(const Config& config) : config_(config) {}
+
+  /// True while the NR secondary leg is attached.
+  [[nodiscard]] bool nr_attached() const noexcept { return nr_attached_; }
+
+  /// Feeds the best NR cell's RSRP at `at`; returns the vertical hand-off
+  /// to execute now (4G-5G to add the leg, 5G-4G to drop it), if any.
+  /// The caller performs the hand-off and must then call `complete()`.
+  [[nodiscard]] std::optional<HandoffType> update(sim::Time at,
+                                                  double best_nr_rsrp_dbm);
+
+  /// Commits the pending vertical transition once signalling finishes.
+  void complete(HandoffType t) noexcept;
+
+ private:
+  static constexpr sim::Time kNotDwelling = -1;
+
+  Config config_{};
+  bool nr_attached_ = false;
+  sim::Time add_dwell_since_ = kNotDwelling;
+  sim::Time drop_dwell_since_ = kNotDwelling;
+};
+
+}  // namespace fiveg::ran

@@ -1,0 +1,54 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fiveg::sim {
+
+EventId EventQueue::schedule(Time at, std::function<void()> action) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(action)});
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  if (id < next_id_) cancelled_.insert(id);
+}
+
+void EventQueue::skip_cancelled() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept {
+  skip_cancelled();
+  return heap_.empty();
+}
+
+Time EventQueue::next_time() const {
+  skip_cancelled();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+EventQueue::Popped EventQueue::pop() {
+  skip_cancelled();
+  assert(!heap_.empty());
+  // The callback may schedule or cancel events, so detach it from the heap
+  // before it can be invoked.
+  Popped out{heap_.top().at, std::move(heap_.top().action)};
+  heap_.pop();
+  return out;
+}
+
+Time EventQueue::pop_and_run() {
+  Popped e = pop();
+  e.action();
+  return e.at;
+}
+
+}  // namespace fiveg::sim

@@ -1,0 +1,75 @@
+// A deterministic pending-event set: a min-heap keyed on (time, sequence
+// number) so that events scheduled for the same instant fire in scheduling
+// order. Cancellation is lazy — cancelled entries are skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fiveg::sim {
+
+/// Opaque handle identifying a scheduled event; usable to cancel it.
+using EventId = std::uint64_t;
+
+/// Priority queue of timed callbacks with stable same-time ordering.
+class EventQueue {
+ public:
+  /// Schedules `action` to fire at absolute time `at`. Returns a handle
+  /// that can be passed to `cancel`.
+  EventId schedule(Time at, std::function<void()> action);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown
+  /// handle is a harmless no-op (the common race in protocol timers).
+  void cancel(EventId id);
+
+  /// True if no runnable (non-cancelled) events remain.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Time of the earliest runnable event. Precondition: !empty().
+  [[nodiscard]] Time next_time() const;
+
+  /// A popped event, detached from the heap.
+  struct Popped {
+    Time at;
+    std::function<void()> action;
+  };
+
+  /// Pops the earliest runnable event without running it, so the caller can
+  /// advance its clock before invoking the action. Precondition: !empty().
+  [[nodiscard]] Popped pop();
+
+  /// Pops and runs the earliest runnable event; returns its time.
+  /// Precondition: !empty().
+  Time pop_and_run();
+
+  /// Number of events ever scheduled (diagnostic).
+  [[nodiscard]] std::uint64_t scheduled_count() const noexcept {
+    return next_id_;
+  }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;
+    // Heap entries are moved, never copied: the callback may own captures.
+    mutable std::function<void()> action;
+    friend bool operator>(const Entry& a, const Entry& b) noexcept {
+      return a.at != b.at ? a.at > b.at : a.id > b.id;
+    }
+  };
+
+  // Drops cancelled entries sitting at the top of the heap.
+  void skip_cancelled() const;
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+      heap_;
+  mutable std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 0;
+};
+
+}  // namespace fiveg::sim

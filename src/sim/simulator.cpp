@@ -1,0 +1,41 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fiveg::sim {
+
+EventId Simulator::schedule_at(Time at, std::function<void()> action) {
+  return queue_.schedule(std::max(at, now_), std::move(action));
+}
+
+EventId Simulator::schedule_in(Time delay, std::function<void()> action) {
+  return schedule_at(now_ + std::max<Time>(delay, 0), std::move(action));
+}
+
+// The clock must advance to the event's timestamp *before* the callback
+// runs: callbacks read now() and schedule relative timers.
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  EventQueue::Popped e = queue_.pop();
+  now_ = e.at;
+  e.action();
+  ++executed_;
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(Time deadline) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  now_ = std::max(now_, deadline);
+}
+
+}  // namespace fiveg::sim

@@ -1,0 +1,39 @@
+// Simulated time: a signed 64-bit count of nanoseconds since simulation
+// start. Integer time keeps event ordering exact and runs bit-identical
+// across platforms, which the experiment reproducibility story relies on.
+#pragma once
+
+#include <cstdint>
+
+namespace fiveg::sim {
+
+/// Simulated time in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+inline constexpr Time kMinute = 60 * kSecond;
+
+/// Converts a simulated time to floating-point seconds (for reporting).
+[[nodiscard]] constexpr double to_seconds(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a simulated time to floating-point milliseconds (for reporting).
+[[nodiscard]] constexpr double to_millis(Time t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Converts floating-point seconds to simulated time, truncating toward zero.
+[[nodiscard]] constexpr Time from_seconds(double s) noexcept {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+
+/// Converts floating-point milliseconds to simulated time.
+[[nodiscard]] constexpr Time from_millis(double ms) noexcept {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+
+}  // namespace fiveg::sim

@@ -1,0 +1,40 @@
+#include "tcp/congestion_control.h"
+
+#include "tcp/cc_algorithms.h"
+
+namespace fiveg::tcp {
+
+std::string to_string(CcAlgo a) {
+  switch (a) {
+    case CcAlgo::kReno:
+      return "Reno";
+    case CcAlgo::kCubic:
+      return "Cubic";
+    case CcAlgo::kVegas:
+      return "Vegas";
+    case CcAlgo::kVeno:
+      return "Veno";
+    case CcAlgo::kBbr:
+      return "BBR";
+  }
+  return "?";
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(
+    CcAlgo algo, std::uint32_t mss_bytes, CcSeed seed) {
+  switch (algo) {
+    case CcAlgo::kReno:
+      return std::make_unique<RenoCc>(mss_bytes);
+    case CcAlgo::kCubic:
+      return std::make_unique<CubicCc>(mss_bytes);
+    case CcAlgo::kVegas:
+      return std::make_unique<VegasCc>(mss_bytes);
+    case CcAlgo::kVeno:
+      return std::make_unique<VenoCc>(mss_bytes);
+    case CcAlgo::kBbr:
+      return std::make_unique<BbrCc>(mss_bytes, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace fiveg::tcp

@@ -1,0 +1,52 @@
+// TCP receiver: in-order reassembly with cumulative ACKs (no SACK — the
+// recovery behaviour of a plain NewReno stack, which is part of why bursty
+// wireline loss devastates loss-based senders in the 5G experiments).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+#include "measure/timeseries.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/tcp_endpoint.h"
+
+namespace fiveg::tcp {
+
+/// Receiving endpoint of one flow.
+class TcpReceiver final : public net::PacketSink {
+ public:
+  /// `emit_ack` injects ACK packets toward the sender.
+  TcpReceiver(sim::Simulator* simulator, TcpConfig config,
+              std::uint32_t flow_id, std::function<void(net::Packet)> emit_ack);
+
+  void deliver(net::Packet p) override;
+
+  /// Contiguous bytes received so far.
+  [[nodiscard]] std::uint64_t bytes_received() const noexcept {
+    return cum_ack_;
+  }
+
+  /// Per-arrival goodput log (bits per in-order delivery event).
+  [[nodiscard]] const measure::TimeSeries& goodput_log() const noexcept {
+    return goodput_log_;
+  }
+
+  /// Mean goodput between two instants, bits/s.
+  [[nodiscard]] double mean_goodput_bps(sim::Time from, sim::Time to) const;
+
+ private:
+  sim::Simulator* sim_;
+  TcpConfig config_;
+  std::uint32_t flow_id_;
+  std::function<void(net::Packet)> emit_ack_;
+
+  std::uint64_t cum_ack_ = 0;  // next expected byte
+  std::uint64_t highest_held_ = 0;  // top of the receive scoreboard
+  std::uint64_t total_accepted_ = 0;  // distinct payload bytes ever stored
+  std::map<std::uint64_t, std::uint64_t> out_of_order_;  // start -> payload
+  measure::TimeSeries goodput_log_;
+};
+
+}  // namespace fiveg::tcp

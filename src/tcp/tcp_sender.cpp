@@ -1,0 +1,264 @@
+#include "tcp/tcp_sender.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace fiveg::tcp {
+
+TcpSender::TcpSender(sim::Simulator* simulator, TcpConfig config,
+                     std::uint32_t flow_id,
+                     std::function<void(net::Packet)> emit)
+    : sim_(simulator),
+      config_(config),
+      flow_id_(flow_id),
+      emit_(std::move(emit)),
+      cc_(make_congestion_control(config.algo, config.mss_bytes, config.seed)),
+      rtt_(config.min_rto, config.initial_rto) {}
+
+void TcpSender::start_bulk() {
+  bulk_ = true;
+  try_send();
+}
+
+void TcpSender::send_bytes(std::uint64_t bytes, std::function<void()> done) {
+  app_limit_ += bytes;
+  if (done) completions_.emplace_back(app_limit_, std::move(done));
+  try_send();
+}
+
+std::uint64_t TcpSender::effective_window() const {
+  const auto cwnd = static_cast<std::uint64_t>(cc_->cwnd_bytes());
+  return std::min(cwnd, config_.receive_window_bytes);
+}
+
+bool TcpSender::data_available(std::uint64_t seq) const {
+  return bulk_ || seq < app_limit_;
+}
+
+void TcpSender::try_send() {
+  const double pacing_bps = cc_->pacing_rate_bps();
+  while (data_available(snd_nxt_) &&
+         bytes_in_flight() + config_.mss_bytes <= effective_window()) {
+    if (pacing_bps > 0.0 && sim_->now() < next_send_time_) {
+      // Single-flight wake-up: at most one pacing timer is ever pending,
+      // no matter how many ACKs poke try_send in the meantime.
+      if (!pace_timer_pending_) {
+        pace_timer_pending_ = true;
+        sim_->schedule_at(next_send_time_, [this] {
+          pace_timer_pending_ = false;
+          try_send();
+        });
+      }
+      return;
+    }
+    const std::uint64_t payload =
+        bulk_ ? config_.mss_bytes
+              : std::min<std::uint64_t>(config_.mss_bytes,
+                                        app_limit_ - snd_nxt_);
+    send_segment(snd_nxt_, /*retransmit=*/false);
+    snd_nxt_ += payload;
+    if (pacing_bps > 0.0) {
+      const double gap_s = 8.0 * (config_.mss_bytes + config_.header_bytes) /
+                           pacing_bps;
+      next_send_time_ =
+          std::max(next_send_time_, sim_->now()) + sim::from_seconds(gap_s);
+    }
+  }
+}
+
+void TcpSender::send_segment(std::uint64_t seq, bool retransmit) {
+  std::uint32_t payload = config_.mss_bytes;
+  if (!bulk_) {
+    payload = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(payload, app_limit_ - seq));
+    if (payload == 0) return;
+  }
+
+  net::Packet p;
+  p.flow_id = flow_id_;
+  p.seq = seq;
+  p.size_bytes = payload + config_.header_bytes;
+  p.sent_at = sim_->now();
+  emit_(std::move(p));
+
+  if (retransmit) {
+    ++retransmissions_;
+    // in_flight_ stays sorted by seq (records are appended for new data
+    // only), so the record lookup can binary-search — a linear scan makes
+    // deep-window recovery quadratic.
+    const auto it = std::lower_bound(
+        in_flight_.begin(), in_flight_.end(), seq,
+        [](const SegmentRecord& r, std::uint64_t s) { return r.seq < s; });
+    if (it != in_flight_.end() && it->seq == seq) {
+      it->sent_at = sim_->now();
+      it->delivered_at_send = delivered_;
+      it->delivered_time_at_send = delivered_time_;
+      it->first_sent_at_send = first_sent_time_;
+      it->retransmitted = true;
+    }
+  } else {
+    // Data re-sent after a go-back-N rewind is still a retransmission for
+    // Karn's rule: a straggler ACK of the earlier copy would otherwise
+    // yield absurdly small RTT samples.
+    const bool seen_before = seq + payload <= max_sent_seq_;
+    in_flight_.push_back({seq, payload, sim_->now(), delivered_,
+                          delivered_time_, first_sent_time_, seen_before});
+    max_sent_seq_ = std::max(max_sent_seq_, seq + payload);
+  }
+  arm_rto();
+}
+
+void TcpSender::arm_rto() {
+  if (rto_timer_) sim_->cancel(*rto_timer_);
+  rto_timer_ = sim_->schedule_in(rtt_.rto(), [this] { on_rto(); });
+}
+
+void TcpSender::deliver(net::Packet p) {
+  if (p.flow_id != flow_id_ || !p.is_ack) return;
+  on_ack(p);
+}
+
+void TcpSender::on_ack(const net::Packet& ack) {
+  const std::uint64_t ack_seq = ack.ack_seq;
+  sack_high_ = std::max(sack_high_, ack.sack_high);
+  // "Delivered" tracks the receiver's distinct-byte counter: it grows at
+  // the true arrival rate even while holes hold the cumulative ACK back,
+  // which keeps delivery-rate samples honest during recovery.
+  if (ack.rcv_total > delivered_) {
+    delivered_ = ack.rcv_total;
+    delivered_time_ = sim_->now();
+  }
+  if (ack_seq > snd_una_) {
+    const std::uint64_t newly = ack_seq - snd_una_;
+    snd_una_ = ack_seq;
+    // A late ACK may outrun a go-back-N rewind of snd_nxt_.
+    snd_nxt_ = std::max(snd_nxt_, snd_una_);
+    dupacks_ = 0;
+    rtt_.reset_backoff();
+
+    // RTT sample from the newest fully-acked, never-retransmitted segment
+    // (Karn's rule). Delivery-rate samples come from every acked segment —
+    // retransmissions included — or BBR's max filter starves during
+    // recovery and the bandwidth model collapses.
+    sim::Time rtt_sample = 0;
+    double rate_sample = 0.0;
+    bool app_limited = !bulk_ && snd_nxt_ >= app_limit_;
+    while (!in_flight_.empty() &&
+           in_flight_.front().seq + in_flight_.front().payload <= ack_seq) {
+      const SegmentRecord& r = in_flight_.front();
+      // RFC delivery-rate estimation: interval is the slower of the send
+      // spacing and the ACK spacing, so bursts of flushed-out-of-order
+      // bytes cannot inflate the sample.
+      const sim::Time send_elapsed = r.sent_at - r.first_sent_at_send;
+      const sim::Time ack_elapsed = sim_->now() - r.delivered_time_at_send;
+      const double interval_s =
+          sim::to_seconds(std::max(send_elapsed, ack_elapsed));
+      // Sub-millisecond windows (ACK compression through in-order links)
+      // are too noisy to trust as bandwidth evidence.
+      if (interval_s >= 0.001) {
+        rate_sample =
+            8.0 * static_cast<double>(delivered_ - r.delivered_at_send) /
+            interval_s;
+      }
+      if (!r.retransmitted) rtt_sample = sim_->now() - r.sent_at;
+      first_sent_time_ = r.sent_at;
+      in_flight_.pop_front();
+    }
+    if (rtt_sample > 0) rtt_.add_sample(sim_->now(), rtt_sample);
+
+    if (in_recovery_ && ack_seq >= recovery_point_) {
+      in_recovery_ = false;
+    } else if (in_recovery_) {
+      retransmit_holes();  // partial ACK: keep repairing the scoreboard
+    }
+
+    AckEvent e;
+    e.now = sim_->now();
+    e.rtt = rtt_sample;
+    e.min_rtt = rtt_.min_rtt();
+    e.acked_bytes = newly;
+    e.delivered_bytes = delivered_;
+    e.bytes_in_flight = bytes_in_flight();
+    e.delivery_rate_bps = rate_sample;
+    e.app_limited = app_limited;
+    cc_->on_ack(e);
+    cwnd_log_.add(sim_->now(), cc_->cwnd_bytes());
+
+    maybe_complete();
+    if (bytes_in_flight() == 0 && !data_available(snd_nxt_)) {
+      if (rto_timer_) {
+        sim_->cancel(*rto_timer_);
+        rto_timer_.reset();
+      }
+    } else {
+      arm_rto();
+    }
+  } else if (ack_seq == snd_una_ && bytes_in_flight() > 0) {
+    ++dupacks_;
+    if (!in_recovery_ && dupacks_ >= config_.dupack_threshold) {
+      enter_fast_retransmit();
+    } else if (in_recovery_) {
+      retransmit_holes();  // each dupack clocks out more repairs
+    }
+  }
+  try_send();
+}
+
+void TcpSender::retransmit_holes() {
+  // SACK-style pipelined repair: the receiver holds bytes up to
+  // sack_high_, so everything unacked below it is a candidate hole.
+  // Retransmit up to two segments per ACK (rate-halving-ish clocking).
+  const std::uint64_t top = std::min(sack_high_, recovery_point_);
+  std::uint64_t seq = std::max(retx_next_, snd_una_);
+  if (seq >= top && snd_una_ < top &&
+      sim_->now() - sweep_start_ > rtt_.smoothed_rtt()) {
+    // Every hole was retransmitted once but the front one still has not
+    // been ACKed after an SRTT: those repairs were themselves lost.
+    // Sweep the scoreboard again.
+    seq = snd_una_;
+  }
+  if (seq == snd_una_) sweep_start_ = sim_->now();
+  int budget = 2;
+  while (budget > 0 && seq < top) {
+    send_segment(seq, /*retransmit=*/true);
+    --budget;
+    seq += config_.mss_bytes;
+  }
+  retx_next_ = seq;
+}
+
+void TcpSender::enter_fast_retransmit() {
+  in_recovery_ = true;
+  recovery_point_ = snd_nxt_;
+  retx_next_ = snd_una_;
+  dupacks_ = 0;
+  cc_->on_loss(sim_->now(), bytes_in_flight());
+  cwnd_log_.add(sim_->now(), cc_->cwnd_bytes());
+  retransmit_holes();
+}
+
+void TcpSender::on_rto() {
+  rto_timer_.reset();
+  if (bytes_in_flight() == 0) return;
+  ++timeouts_;
+  rtt_.backoff();
+  cc_->on_timeout(sim_->now());
+  cwnd_log_.add(sim_->now(), cc_->cwnd_bytes());
+  in_recovery_ = false;
+  dupacks_ = 0;
+  // Go-back-N: everything past snd_una_ is presumed lost.
+  snd_nxt_ = snd_una_;
+  in_flight_.clear();
+  next_send_time_ = sim_->now();
+  try_send();
+}
+
+void TcpSender::maybe_complete() {
+  while (!completions_.empty() && snd_una_ >= completions_.front().first) {
+    auto done = std::move(completions_.front().second);
+    completions_.pop_front();
+    done();
+  }
+}
+
+}  // namespace fiveg::tcp

@@ -1,0 +1,123 @@
+// TCP sender: cumulative-ACK NewReno-style loss recovery (fast retransmit
+// on triple dupack, go-back-N on RTO), RFC 6298 timers, delivery-rate
+// sampling for BBR, and optional pacing. Runs bulk (iperf-style) or
+// fixed-size (web object) transfers.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "measure/timeseries.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "tcp/congestion_control.h"
+#include "tcp/rtt_estimator.h"
+#include "tcp/tcp_endpoint.h"
+
+namespace fiveg::tcp {
+
+/// Sending endpoint of one flow.
+class TcpSender final : public net::PacketSink {
+ public:
+  /// `emit` injects data packets toward the receiver.
+  TcpSender(sim::Simulator* simulator, TcpConfig config, std::uint32_t flow_id,
+            std::function<void(net::Packet)> emit);
+
+  /// Starts an unbounded bulk transfer (iperf3).
+  void start_bulk();
+
+  /// Queues `bytes` of application data; `done` fires when everything
+  /// queued so far (including this chunk) is ACKed. May be called
+  /// repeatedly — each chunk keeps its own completion callback, so a
+  /// frame-by-frame video source can track per-frame delivery.
+  void send_bytes(std::uint64_t bytes, std::function<void()> done = nullptr);
+
+  /// ACK input (attach as the sink of the reverse path).
+  void deliver(net::Packet p) override;
+
+  // --- observability ---
+  [[nodiscard]] double cwnd_bytes() const { return cc_->cwnd_bytes(); }
+  [[nodiscard]] const measure::TimeSeries& cwnd_log() const noexcept {
+    return cwnd_log_;
+  }
+  [[nodiscard]] std::uint64_t bytes_acked() const noexcept { return snd_una_; }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] const RttEstimator& rtt() const noexcept { return rtt_; }
+  [[nodiscard]] const CongestionControl& cc() const noexcept { return *cc_; }
+  [[nodiscard]] std::uint64_t bytes_in_flight() const noexcept {
+    return snd_nxt_ - snd_una_;
+  }
+  /// Queued + unacknowledged application bytes (the sender-side backlog an
+  /// adaptive video source watches).
+  [[nodiscard]] std::uint64_t backlog_bytes() const noexcept {
+    return app_limit_ - snd_una_;
+  }
+
+ private:
+  // Per-segment state for RFC-style delivery-rate estimation: each segment
+  // snapshots the connection's rate-sample anchors at (re)send time.
+  struct SegmentRecord {
+    std::uint64_t seq;        // payload byte offset
+    std::uint32_t payload;    // payload bytes
+    sim::Time sent_at;
+    std::uint64_t delivered_at_send;   // cumulative delivered when sent
+    sim::Time delivered_time_at_send;  // when that delivered count was set
+    sim::Time first_sent_at_send;      // send time of the anchoring packet
+    bool retransmitted = false;
+  };
+
+  void try_send();
+  void send_segment(std::uint64_t seq, bool retransmit);
+  void on_ack(const net::Packet& ack);
+  void enter_fast_retransmit();
+  void retransmit_holes();
+  void on_rto();
+  void arm_rto();
+  [[nodiscard]] std::uint64_t effective_window() const;
+  [[nodiscard]] bool data_available(std::uint64_t seq) const;
+  void maybe_complete();
+
+  sim::Simulator* sim_;
+  TcpConfig config_;
+  std::uint32_t flow_id_;
+  std::function<void(net::Packet)> emit_;
+  std::unique_ptr<CongestionControl> cc_;
+  RttEstimator rtt_;
+
+  bool bulk_ = false;
+  std::uint64_t app_limit_ = 0;  // total bytes the app has queued
+  // (completion threshold, callback) in queueing order.
+  std::deque<std::pair<std::uint64_t, std::function<void()>>> completions_;
+
+  std::uint64_t snd_una_ = 0;  // lowest unacked byte
+  std::uint64_t snd_nxt_ = 0;  // next new byte to send
+  std::uint64_t max_sent_seq_ = 0;  // high-water mark of bytes ever sent
+  std::uint64_t delivered_ = 0;
+  sim::Time delivered_time_ = 0;  // when delivered_ last advanced
+  sim::Time first_sent_time_ = 0;  // sent_at of the last acked segment
+  int dupacks_ = 0;
+
+  bool in_recovery_ = false;
+  std::uint64_t recovery_point_ = 0;
+  std::uint64_t sack_high_ = 0;  // receiver scoreboard top from ACKs
+  std::uint64_t retx_next_ = 0;  // next hole candidate this recovery epoch
+  sim::Time sweep_start_ = 0;    // when the current hole sweep began
+
+  std::deque<SegmentRecord> in_flight_;  // ordered by seq
+
+  std::optional<sim::EventId> rto_timer_;
+  sim::Time next_send_time_ = 0;  // pacing release time
+  bool pace_timer_pending_ = false;  // single-flight pacing wake-up
+
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t timeouts_ = 0;
+  measure::TimeSeries cwnd_log_;
+};
+
+}  // namespace fiveg::tcp

@@ -1,0 +1,194 @@
+// Tests for the application layer: iperf sessions, web page loading and
+// panoramic video telephony over simulated cellular paths.
+#include <gtest/gtest.h>
+
+#include "app/iperf.h"
+#include "app/video.h"
+#include "app/web.h"
+#include "net/epc.h"
+#include "net/path.h"
+#include "sim/simulator.h"
+
+namespace fiveg::app {
+namespace {
+
+using sim::from_millis;
+using sim::kSecond;
+
+std::vector<net::Link::Config> simple_path(double rate_bps, sim::Time one_way) {
+  std::vector<net::Link::Config> hops(2);
+  hops[0].rate_bps = rate_bps;
+  hops[0].prop_delay = one_way / 2;
+  hops[0].queue_bytes = 1 << 20;
+  hops[1].rate_bps = 10e9;
+  hops[1].prop_delay = one_way / 2;
+  hops[1].queue_bytes = 8 << 20;
+  return hops;
+}
+
+TEST(UdpTestTest, MeasuresThroughputAndLoss) {
+  sim::Simulator simr;
+  net::PathNetwork path(&simr, simple_path(100e6, from_millis(10)));
+  PathFanout fanout(&path);
+  UdpTest test(&simr, &path, &fanout, 60e6);
+  test.start(3 * kSecond);
+  simr.run();
+  const UdpTestResult r = test.result(0, 3 * kSecond);
+  EXPECT_GT(r.packets_sent, 10000u);
+  EXPECT_EQ(r.packets_received, r.packets_sent);
+  EXPECT_DOUBLE_EQ(r.loss_ratio, 0.0);
+  EXPECT_NEAR(r.mean_throughput_bps, 60e6, 3e6);
+}
+
+TEST(TcpSessionTest, TwoSessionsShareAPath) {
+  sim::Simulator simr;
+  net::PathNetwork path(&simr, simple_path(100e6, from_millis(20)));
+  PathFanout fanout(&path);
+  tcp::TcpConfig cfg;
+  cfg.algo = tcp::CcAlgo::kCubic;
+  TcpSession s1(&simr, &path, &fanout, cfg, 1);
+  TcpSession s2(&simr, &path, &fanout, cfg, 2);
+  s1.sender().start_bulk();
+  s2.sender().start_bulk();
+  simr.run_until(10 * kSecond);
+  const double g1 = s1.receiver().mean_goodput_bps(3 * kSecond, 10 * kSecond);
+  const double g2 = s2.receiver().mean_goodput_bps(3 * kSecond, 10 * kSecond);
+  // Both flows make progress and together fill most of the link.
+  EXPECT_GT(g1, 15e6);
+  EXPECT_GT(g2, 15e6);
+  EXPECT_GT(g1 + g2, 70e6);
+  EXPECT_LT(g1 + g2, 101e6);
+}
+
+TEST(WebBrowserTest, PaperPagesAreOrderedBySize) {
+  const auto pages = paper_pages();
+  ASSERT_EQ(pages.size(), 5u);
+  EXPECT_EQ(pages.front().category, "Search");
+  for (const WebPage& p : pages) {
+    EXPECT_GT(p.bytes, 0u);
+    EXPECT_GT(p.render_time, 0);
+  }
+  const WebPage img = image_page(16.0);
+  EXPECT_EQ(img.bytes, 16u << 20);
+  EXPECT_GT(img.render_time, image_page(1.0).render_time);
+}
+
+TEST(WebBrowserTest, PltSplitsDownloadAndRender) {
+  sim::Simulator simr;
+  net::PathNetwork path(&simr, simple_path(100e6, from_millis(20)));
+  PathFanout fanout(&path);
+  tcp::TcpConfig cfg;
+  cfg.algo = tcp::CcAlgo::kBbr;
+  WebBrowser browser(&simr, &path, &fanout, cfg);
+
+  PltResult result;
+  bool done = false;
+  browser.load(image_page(2.0), [&](PltResult r) {
+    result = r;
+    done = true;
+  });
+  simr.run_until(30 * kSecond);
+  ASSERT_TRUE(done);
+  EXPECT_GT(result.download_s, 0.05);   // at least a few RTTs
+  EXPECT_LT(result.download_s, 5.0);
+  EXPECT_NEAR(result.render_s, 0.25, 0.01);  // 100 + 75*2 ms
+  EXPECT_NEAR(result.total_s(), result.download_s + result.render_s, 1e-9);
+}
+
+TEST(WebBrowserTest, FasterLinkShortensOnlyDownload) {
+  const auto plt_on = [](double rate_bps) {
+    sim::Simulator simr;
+    net::PathNetwork path(&simr, simple_path(rate_bps, from_millis(20)));
+    PathFanout fanout(&path);
+    tcp::TcpConfig cfg;
+    cfg.algo = tcp::CcAlgo::kBbr;
+    WebBrowser browser(&simr, &path, &fanout, cfg);
+    PltResult result;
+    browser.load(image_page(8.0), [&](PltResult r) { result = r; });
+    simr.run_until(60 * kSecond);
+    return result;
+  };
+  const PltResult slow = plt_on(20e6);
+  const PltResult fast = plt_on(800e6);
+  EXPECT_GT(slow.download_s, fast.download_s);
+  EXPECT_DOUBLE_EQ(slow.render_s, fast.render_s);
+  // The paper's point: rendering limits the gain from a faster RAT.
+  EXPECT_LT(fast.total_s() / slow.total_s(), 1.0);
+  EXPECT_GT(fast.total_s() / slow.total_s(), 0.2);
+}
+
+TEST(VideoTest, ResolutionsAndBitrates) {
+  EXPECT_LT(nominal_bitrate_bps(Resolution::k720p),
+            nominal_bitrate_bps(Resolution::k1080p));
+  EXPECT_LT(nominal_bitrate_bps(Resolution::k1080p),
+            nominal_bitrate_bps(Resolution::k4K));
+  EXPECT_LT(nominal_bitrate_bps(Resolution::k4K),
+            nominal_bitrate_bps(Resolution::k5p7K));
+  EXPECT_EQ(to_string(Resolution::k5p7K), "5.7K");
+}
+
+TEST(VideoTest, FourKOverFiveGDeliversSmoothly) {
+  sim::Simulator simr;
+  // 5G uplink: ~100 Mbps capacity.
+  net::PathNetwork path(&simr, simple_path(100e6, from_millis(15)));
+  PathFanout fanout(&path);
+  VideoConfig cfg;
+  cfg.resolution = Resolution::k4K;
+  cfg.transport.algo = tcp::CcAlgo::kBbr;
+  VideoTelephony video(&simr, &path, &fanout, cfg, sim::Rng(3));
+  video.start(10 * kSecond);
+  simr.run_until(20 * kSecond);
+  const VideoStats s = video.stats();
+  EXPECT_NEAR(s.frames_captured, 300u, 2u);
+  EXPECT_GT(s.frames_delivered, s.frames_captured - 10);
+  EXPECT_LE(s.freeze_events, 1);
+  // Frame delay ~= processing (650 ms) + relay (230 ms) + transport.
+  EXPECT_GT(s.frame_delay_s.quantile(0.5), 0.8);
+  EXPECT_LT(s.frame_delay_s.quantile(0.5), 1.3);
+  EXPECT_NEAR(s.mean_received_throughput_bps, 45e6, 10e6);
+}
+
+TEST(VideoTest, FiveSevenKOverFourGCongests) {
+  sim::Simulator simr;
+  // 4G daytime uplink: ~50 Mbps, below the 5.7K nominal 80 Mbps.
+  net::PathNetwork path(&simr, simple_path(50e6, from_millis(15)));
+  PathFanout fanout(&path);
+  VideoConfig cfg;
+  cfg.resolution = Resolution::k5p7K;
+  cfg.dynamic_scene = true;
+  cfg.transport.algo = tcp::CcAlgo::kBbr;
+  VideoTelephony video(&simr, &path, &fanout, cfg, sim::Rng(4));
+  video.start(15 * kSecond);
+  simr.run_until(40 * kSecond);
+  const VideoStats s = video.stats();
+  // Receiver throughput saturates near link capacity, well under nominal.
+  EXPECT_LT(s.mean_received_throughput_bps, 60e6);
+  // Delay balloons as the send queue grows.
+  EXPECT_GT(s.frame_delay_s.quantile(0.9), 1.5);
+}
+
+TEST(VideoTest, DynamicScenesFluctuateMore) {
+  const auto run = [](bool dynamic) {
+    sim::Simulator simr;
+    net::PathNetwork path(&simr, simple_path(200e6, from_millis(10)));
+    PathFanout fanout(&path);
+    VideoConfig cfg;
+    cfg.resolution = Resolution::k5p7K;
+    cfg.dynamic_scene = dynamic;
+    cfg.transport.algo = tcp::CcAlgo::kBbr;
+    VideoTelephony video(&simr, &path, &fanout, cfg, sim::Rng(5));
+    video.start(10 * kSecond);
+    simr.run_until(25 * kSecond);
+    return video.stats();
+  };
+  const VideoStats st = run(false);
+  const VideoStats dy = run(true);
+  const auto spread = [](const measure::Cdf& c) {
+    return (c.quantile(0.95) - c.quantile(0.05)) / c.mean();
+  };
+  EXPECT_GT(spread(dy.frame_bytes), 1.5 * spread(st.frame_bytes));
+  EXPECT_GT(dy.frame_bytes.mean(), st.frame_bytes.mean());
+}
+
+}  // namespace
+}  // namespace fiveg::app

@@ -1,0 +1,405 @@
+// Unit/integration tests for the packet network: queues, links, paths,
+// traceroute, UDP, cross traffic and the cellular path factories.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/cross_traffic.h"
+#include "net/epc.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "net/path.h"
+#include "net/queue.h"
+#include "net/ran_link.h"
+#include "net/topology.h"
+#include "net/traceroute.h"
+#include "net/udp.h"
+#include "sim/simulator.h"
+
+namespace fiveg::net {
+namespace {
+
+using sim::from_millis;
+using sim::kMillisecond;
+using sim::kSecond;
+using sim::to_millis;
+
+Packet make_packet(std::uint32_t flow, std::uint64_t seq, std::uint32_t bytes) {
+  Packet p;
+  p.flow_id = flow;
+  p.seq = seq;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(DropTailQueueTest, DropsWhenFull) {
+  DropTailQueue q(3000);
+  EXPECT_TRUE(q.push(make_packet(1, 0, 1500)));
+  EXPECT_TRUE(q.push(make_packet(1, 1, 1500)));
+  EXPECT_FALSE(q.push(make_packet(1, 2, 1500)));  // 4500 > 3000
+  EXPECT_EQ(q.drops(), 1u);
+  EXPECT_EQ(q.size_packets(), 2u);
+  EXPECT_EQ(q.pop().seq, 0u);  // FIFO
+  EXPECT_TRUE(q.push(make_packet(1, 3, 1500)));
+  EXPECT_EQ(q.max_depth_bytes(), 3000u);
+}
+
+TEST(LinkTest, SerializationAndPropagation) {
+  sim::Simulator simr;
+  Link::Config cfg;
+  cfg.rate_bps = 12e6;  // 1500 B = 1 ms serialisation
+  cfg.prop_delay = from_millis(5);
+  sim::Time delivered_at = -1;
+  LambdaSink sink([&](Packet) { delivered_at = simr.now(); });
+  Link link(&simr, cfg, &sink);
+  link.send(make_packet(1, 0, 1500));
+  simr.run();
+  EXPECT_EQ(delivered_at, from_millis(6));
+  EXPECT_EQ(link.delivered_packets(), 1u);
+  EXPECT_EQ(link.delivered_bytes(), 1500u);
+}
+
+TEST(LinkTest, BackToBackPacketsQueue) {
+  sim::Simulator simr;
+  Link::Config cfg;
+  cfg.rate_bps = 12e6;
+  cfg.prop_delay = 0;
+  std::vector<sim::Time> deliveries;
+  LambdaSink sink([&](Packet) { deliveries.push_back(simr.now()); });
+  Link link(&simr, cfg, &sink);
+  for (int i = 0; i < 3; ++i) link.send(make_packet(1, i, 1500));
+  simr.run();
+  ASSERT_EQ(deliveries.size(), 3u);
+  EXPECT_EQ(deliveries[0], from_millis(1));
+  EXPECT_EQ(deliveries[1], from_millis(2));
+  EXPECT_EQ(deliveries[2], from_millis(3));
+}
+
+TEST(LinkTest, QueueOverflowDrops) {
+  sim::Simulator simr;
+  Link::Config cfg;
+  cfg.rate_bps = 12e6;
+  cfg.queue_bytes = 4500;  // 3 packets
+  CountingSink sink;
+  Link link(&simr, cfg, &sink);
+  for (int i = 0; i < 10; ++i) link.send(make_packet(1, i, 1500));
+  simr.run();
+  // One transmits immediately; 3 queue; 6 dropped... the head-of-line one
+  // leaves the queue as soon as transmission starts.
+  EXPECT_GT(link.dropped_packets(), 0u);
+  EXPECT_EQ(sink.packets() + link.dropped_packets(), 10u);
+}
+
+TEST(LinkTest, BlockedLinkHoldsTraffic) {
+  sim::Simulator simr;
+  bool blocked = true;
+  Link::Config cfg;
+  cfg.rate_bps = 1e9;
+  cfg.prop_delay = 0;
+  cfg.blocked_fn = [&] { return blocked; };
+  CountingSink sink;
+  Link link(&simr, cfg, &sink);
+  link.send(make_packet(1, 0, 1500));
+  simr.run_until(from_millis(50));
+  EXPECT_EQ(sink.packets(), 0u);
+  blocked = false;
+  simr.run_until(from_millis(60));
+  EXPECT_EQ(sink.packets(), 1u);
+}
+
+TEST(LinkTest, DynamicRateFollowsCallback) {
+  sim::Simulator simr;
+  double rate = 12e6;
+  Link::Config cfg;
+  cfg.rate_fn = [&] { return rate; };
+  cfg.prop_delay = 0;
+  std::vector<sim::Time> deliveries;
+  LambdaSink sink([&](Packet) { deliveries.push_back(simr.now()); });
+  Link link(&simr, cfg, &sink);
+  link.send(make_packet(1, 0, 1500));
+  simr.run();
+  rate = 120e6;
+  link.send(make_packet(1, 1, 1500));
+  simr.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_EQ(deliveries[0], from_millis(1));
+  EXPECT_EQ(deliveries[1] - deliveries[0], from_millis(0.1));
+}
+
+TEST(PathNetworkTest, EndToEndDelivery) {
+  sim::Simulator simr;
+  std::vector<Link::Config> hops(3);
+  for (auto& h : hops) {
+    h.rate_bps = 1e9;
+    h.prop_delay = from_millis(1);
+  }
+  PathNetwork path(&simr, hops);
+  CountingSink at_b, at_a;
+  path.attach_b(&at_b);
+  path.attach_a(&at_a);
+  path.send_a_to_b(make_packet(1, 0, 1500));
+  path.send_b_to_a(make_packet(2, 0, 40));
+  simr.run();
+  EXPECT_EQ(at_b.packets(), 1u);
+  EXPECT_EQ(at_a.packets(), 1u);
+}
+
+TEST(PathNetworkTest, ProbeRttGrowsWithHopCount) {
+  sim::Simulator simr;
+  std::vector<Link::Config> hops(4);
+  for (auto& h : hops) {
+    h.rate_bps = 1e9;
+    h.prop_delay = from_millis(2);
+  }
+  PathNetwork path(&simr, hops);
+  std::vector<double> rtts(5, -1.0);
+  for (std::size_t h = 1; h <= 4; ++h) {
+    path.probe(h, [&rtts, h](sim::Time rtt) { rtts[h] = to_millis(rtt); });
+  }
+  simr.run();
+  for (std::size_t h = 1; h <= 4; ++h) {
+    EXPECT_NEAR(rtts[h], 4.0 * static_cast<double>(h), 0.1) << "hop " << h;
+  }
+  EXPECT_THROW(path.probe(0, [](sim::Time) {}), std::invalid_argument);
+  EXPECT_THROW(path.probe(5, [](sim::Time) {}), std::invalid_argument);
+}
+
+TEST(TracerouteTest, CollectsPerHopStats) {
+  sim::Simulator simr;
+  std::vector<Link::Config> hops(3);
+  for (auto& h : hops) {
+    h.rate_bps = 1e9;
+    h.prop_delay = from_millis(3);
+  }
+  PathNetwork path(&simr, hops);
+  Traceroute tr(&simr, &path, /*reps=*/10, /*gap=*/from_millis(50));
+  std::vector<HopRtt> out;
+  tr.run([&](std::vector<HopRtt> r) { out = std::move(r); });
+  simr.run();
+  ASSERT_EQ(out.size(), 3u);
+  for (std::size_t h = 0; h < 3; ++h) {
+    EXPECT_EQ(out[h].rtt_ms.count(), 10u);
+    EXPECT_EQ(out[h].lost, 0);
+    EXPECT_NEAR(out[h].rtt_ms.mean(), 6.0 * (h + 1), 0.2);
+  }
+  // Hop RTTs are monotone along the path.
+  EXPECT_LT(out[0].rtt_ms.mean(), out[2].rtt_ms.mean());
+}
+
+TEST(TracerouteTest, CountsLostProbes) {
+  sim::Simulator simr;
+  bool blocked = false;
+  std::vector<net::Link::Config> hops(3);
+  for (auto& h : hops) {
+    h.rate_bps = 1e9;
+    h.prop_delay = from_millis(2);
+  }
+  hops[2].blocked_fn = [&] { return blocked; };
+  PathNetwork path(&simr, hops);
+  blocked = true;  // the last hop is dark: hop-3 probes never answer
+  Traceroute tr(&simr, &path, /*reps=*/5, /*gap=*/from_millis(100));
+  std::vector<HopRtt> out;
+  tr.run([&](std::vector<HopRtt> r) { out = std::move(r); });
+  simr.run_until(10 * kSecond);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].lost, 0);
+  EXPECT_EQ(out[1].lost, 0);
+  EXPECT_EQ(out[2].lost, 5);  // all timed out
+  EXPECT_EQ(out[2].rtt_ms.count(), 0u);
+}
+
+TEST(TracerouteTest, BufferEstimatorMaxMin) {
+  measure::RunningStats rtt;
+  rtt.add(10.0);
+  rtt.add(14.8);  // 4.8 ms spread at 1 Gbps = 4.8e6 bits / 480 bits = 10000 pkts
+  EXPECT_NEAR(estimate_buffer_packets(rtt, 1e9, 60), 10000.0, 1.0);
+  measure::RunningStats single;
+  single.add(5.0);
+  EXPECT_DOUBLE_EQ(estimate_buffer_packets(single), 0.0);
+}
+
+TEST(UdpTest, ConstantRateAndLoss) {
+  sim::Simulator simr;
+  std::vector<Link::Config> hops(1);
+  hops[0].rate_bps = 50e6;
+  hops[0].prop_delay = from_millis(1);
+  hops[0].queue_bytes = 64 * 1024;
+  PathNetwork path(&simr, hops);
+  UdpSink sink(&simr, /*flow_id=*/7);
+  path.attach_b(&sink);
+  UdpSource src(&simr, {7, 40e6, 1500}, [&](Packet p) {
+    path.send_a_to_b(std::move(p));
+  });
+  src.start(2 * kSecond);
+  simr.run();
+  // 40 Mbps under a 50 Mbps link: everything arrives.
+  EXPECT_EQ(sink.packets_received(), src.packets_sent());
+  EXPECT_DOUBLE_EQ(sink.loss_ratio(src.packets_sent()), 0.0);
+  EXPECT_NEAR(sink.mean_throughput_bps(0, 2 * kSecond), 40e6, 2e6);
+  // Sequence numbers arrive in order on a FIFO path.
+  for (std::size_t i = 1; i < sink.arrival_seqs().size(); ++i) {
+    EXPECT_EQ(sink.arrival_seqs()[i], sink.arrival_seqs()[i - 1] + 1);
+  }
+}
+
+TEST(UdpTest, OverloadLosesPackets) {
+  sim::Simulator simr;
+  std::vector<Link::Config> hops(1);
+  hops[0].rate_bps = 50e6;
+  hops[0].queue_bytes = 32 * 1024;
+  PathNetwork path(&simr, hops);
+  UdpSink sink(&simr, 7);
+  path.attach_b(&sink);
+  UdpSource src(&simr, {7, 100e6, 1500}, [&](Packet p) {
+    path.send_a_to_b(std::move(p));
+  });
+  src.start(kSecond);
+  simr.run();
+  EXPECT_NEAR(sink.loss_ratio(src.packets_sent()), 0.5, 0.05);
+}
+
+TEST(CrossTrafficTest, MeanLoadInRange) {
+  sim::Simulator simr;
+  Link::Config cfg;
+  cfg.rate_bps = 10e9;  // no self-congestion
+  CountingSink sink;
+  Link link(&simr, cfg, &sink);
+  CrossTraffic::Config xcfg;
+  CrossTraffic x(&simr, &link, xcfg, sim::Rng(3));
+  x.start(20 * kSecond);
+  simr.run();
+  const double measured_bps = 8.0 * sink.bytes() / 20.0;
+  EXPECT_NEAR(measured_bps, x.mean_offered_bps(), 0.4 * x.mean_offered_bps());
+  EXPECT_GT(x.packets_sent(), 1000u);
+}
+
+TEST(RanLinkTest, ProbeRttMatchesPaperHop1) {
+  for (const radio::Rat rat : {radio::Rat::kNr, radio::Rat::kLte}) {
+    sim::Simulator simr;
+    RanLinkOptions opt;
+    opt.rat = rat;
+    opt.bitrate_bps = rat == radio::Rat::kNr ? 880e6 : 130e6;
+    PathNetwork path(&simr, {make_ran_link_config(opt, sim::Rng(5))});
+    measure::RunningStats rtt;
+    for (int i = 0; i < 400; ++i) {
+      simr.schedule_in(i * from_millis(10), [&] {
+        path.probe(1, [&](sim::Time t) { rtt.add(to_millis(t)); });
+      });
+    }
+    simr.run();
+    const double expect = rat == radio::Rat::kNr ? 2.19 : 2.6;
+    EXPECT_NEAR(rtt.mean(), expect, 0.35) << to_millis(ran_base_delay(rat));
+  }
+}
+
+TEST(RanLinkTest, DataPacketsSeeHarqDelays) {
+  sim::Simulator simr;
+  RanLinkOptions opt;
+  opt.rat = radio::Rat::kLte;
+  opt.bitrate_bps = 130e6;
+  PathNetwork path(&simr, {make_ran_link_config(opt, sim::Rng(6))});
+  measure::RunningStats delays;
+  LambdaSink sink([&](Packet p) { delays.add(to_millis(simr.now() - p.sent_at)); });
+  path.attach_b(&sink);
+  for (int i = 0; i < 3000; ++i) {
+    simr.schedule_in(i * from_millis(1), [&, i] {
+      Packet p = make_packet(1, i, 1500);
+      p.sent_at = simr.now();
+      path.send_a_to_b(std::move(p));
+    });
+  }
+  simr.run();
+  // ~16% of full-size packets retransmit at 8 ms a pop, and in-order
+  // delivery (RLC reordering buffer) makes followers wait out each stall,
+  // so the mean one-way delay sits well above the base + serialisation.
+  EXPECT_GT(delays.mean(), 2.0);
+  EXPECT_LT(delays.mean(), 14.0);
+  EXPECT_GT(delays.max(), 9.0);  // at least one retransmission burst
+}
+
+TEST(EpcPathTest, FlatCoreSavesTwentyMs) {
+  // Identical wired segment; hop-2 differs by ~10 ms one-way.
+  EXPECT_NEAR(to_millis(epc_delay(radio::Rat::kLte)) -
+                  to_millis(epc_delay(radio::Rat::kNr)),
+              10.0, 0.1);
+
+  for (const radio::Rat rat : {radio::Rat::kNr, radio::Rat::kLte}) {
+    sim::Simulator simr;
+    CellularPathOptions opt;
+    opt.rat = rat;
+    opt.ran.rat = rat;
+    opt.ran.bitrate_bps = rat == radio::Rat::kNr ? 880e6 : 130e6;
+    auto hops = make_cellular_path(opt, sim::Rng(8));
+    EXPECT_EQ(hops.size(), static_cast<std::size_t>(2 + opt.wired_hops));
+    EXPECT_EQ(hops[0].name.find("ran"), 0u);
+    EXPECT_EQ(hops[1].name, "epc");
+    EXPECT_EQ(hops[kBottleneckHopIndex].name, "metro-bottleneck");
+  }
+}
+
+TEST(EpcPathTest, EndToEndRttReasonable) {
+  sim::Simulator simr;
+  CellularPathOptions opt;  // NR defaults, 30 km
+  auto hops = make_cellular_path(opt, sim::Rng(9));
+  PathNetwork path(&simr, std::move(hops));
+  measure::RunningStats rtt;
+  for (int i = 0; i < 30; ++i) {
+    simr.schedule_in(i * from_millis(20), [&] {
+      path.probe(path.hop_count(), [&](sim::Time t) { rtt.add(to_millis(t)); });
+    });
+  }
+  simr.run();
+  // Unloaded metro path: well under the paper's loaded 43.6 ms average,
+  // well above the bare RAN RTT.
+  EXPECT_GT(rtt.mean(), 5.0);
+  EXPECT_LT(rtt.mean(), 25.0);
+}
+
+TEST(TopologyTest, Table6Servers) {
+  const auto& servers = speedtest_servers();
+  ASSERT_EQ(servers.size(), 20u);
+  EXPECT_EQ(servers.front().city, "Beijing");
+  EXPECT_NEAR(servers.front().distance_km, 1.67, 0.01);
+  EXPECT_EQ(servers.back().city, "Kashi");
+  EXPECT_NEAR(servers.back().distance_km, 3426.37, 0.01);
+  for (std::size_t i = 1; i < servers.size(); ++i) {
+    EXPECT_GT(servers[i].distance_km, servers[i - 1].distance_km);
+  }
+}
+
+TEST(TopologyTest, PathOptionsScaleWithDistance) {
+  const auto& servers = speedtest_servers();
+  const auto near = make_server_path_options(radio::Rat::kNr, servers.front());
+  const auto far = make_server_path_options(radio::Rat::kNr, servers.back());
+  EXPECT_LT(near.wired_hops, far.wired_hops);
+  EXPECT_GE(near.wired_hops, 5);
+  EXPECT_LE(far.wired_hops, 11);
+}
+
+// Property sweep: packet conservation on a congested path — everything
+// sent is either delivered or accounted as a drop, across load levels.
+class ConservationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ConservationTest, SentEqualsDeliveredPlusDropped) {
+  sim::Simulator simr;
+  std::vector<Link::Config> hops(2);
+  hops[0].rate_bps = 100e6;
+  hops[0].queue_bytes = 30 * 1500;
+  hops[1].rate_bps = 50e6;
+  hops[1].queue_bytes = 10 * 1500;
+  PathNetwork path(&simr, hops);
+  UdpSink sink(&simr, 1);
+  path.attach_b(&sink);
+  UdpSource src(&simr, {1, GetParam(), 1500}, [&](Packet p) {
+    path.send_a_to_b(std::move(p));
+  });
+  src.start(kSecond);
+  simr.run();
+  EXPECT_EQ(src.packets_sent(), sink.packets_received() + path.total_drops());
+}
+
+INSTANTIATE_TEST_SUITE_P(Loads, ConservationTest,
+                         ::testing::Values(10e6, 40e6, 60e6, 120e6, 400e6));
+
+}  // namespace
+}  // namespace fiveg::net

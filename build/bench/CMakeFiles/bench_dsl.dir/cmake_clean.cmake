@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dsl.dir/bench_dsl.cpp.o"
+  "CMakeFiles/bench_dsl.dir/bench_dsl.cpp.o.d"
+  "bench_dsl"
+  "bench_dsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

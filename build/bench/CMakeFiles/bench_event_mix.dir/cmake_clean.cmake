@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_mix.dir/bench_event_mix.cpp.o"
+  "CMakeFiles/bench_event_mix.dir/bench_event_mix.cpp.o.d"
+  "bench_event_mix"
+  "bench_event_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22.dir/bench_fig22.cpp.o"
+  "CMakeFiles/bench_fig22.dir/bench_fig22.cpp.o.d"
+  "bench_fig22"
+  "bench_fig22.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23.dir/bench_fig23.cpp.o"
+  "CMakeFiles/bench_fig23.dir/bench_fig23.cpp.o.d"
+  "bench_fig23"
+  "bench_fig23.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_drive_test.dir/drive_test.cpp.o"
+  "CMakeFiles/example_drive_test.dir/drive_test.cpp.o.d"
+  "example_drive_test"
+  "example_drive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_drive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_energy_profile.dir/energy_profile.cpp.o"
+  "CMakeFiles/example_energy_profile.dir/energy_profile.cpp.o.d"
+  "example_energy_profile"
+  "example_energy_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_energy_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

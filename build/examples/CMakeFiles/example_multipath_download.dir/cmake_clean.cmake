@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_multipath_download.dir/multipath_download.cpp.o"
+  "CMakeFiles/example_multipath_download.dir/multipath_download.cpp.o.d"
+  "example_multipath_download"
+  "example_multipath_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_multipath_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_speedtest.dir/speedtest.cpp.o"
+  "CMakeFiles/example_speedtest.dir/speedtest.cpp.o.d"
+  "example_speedtest"
+  "example_speedtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_speedtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_video_call.dir/video_call.cpp.o"
+  "CMakeFiles/example_video_call.dir/video_call.cpp.o.d"
+  "example_video_call"
+  "example_video_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_video_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

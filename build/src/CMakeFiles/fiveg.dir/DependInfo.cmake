@@ -1,0 +1,87 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/iperf.cpp" "src/CMakeFiles/fiveg.dir/app/iperf.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/app/iperf.cpp.o.d"
+  "/root/repo/src/app/multipath.cpp" "src/CMakeFiles/fiveg.dir/app/multipath.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/app/multipath.cpp.o.d"
+  "/root/repo/src/app/video.cpp" "src/CMakeFiles/fiveg.dir/app/video.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/app/video.cpp.o.d"
+  "/root/repo/src/app/web.cpp" "src/CMakeFiles/fiveg.dir/app/web.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/app/web.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/fiveg.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/experiments/ablation_experiments.cpp" "src/CMakeFiles/fiveg.dir/core/experiments/ablation_experiments.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/core/experiments/ablation_experiments.cpp.o.d"
+  "/root/repo/src/core/experiments/app_experiments.cpp" "src/CMakeFiles/fiveg.dir/core/experiments/app_experiments.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/core/experiments/app_experiments.cpp.o.d"
+  "/root/repo/src/core/experiments/coverage_experiments.cpp" "src/CMakeFiles/fiveg.dir/core/experiments/coverage_experiments.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/core/experiments/coverage_experiments.cpp.o.d"
+  "/root/repo/src/core/experiments/energy_experiments.cpp" "src/CMakeFiles/fiveg.dir/core/experiments/energy_experiments.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/core/experiments/energy_experiments.cpp.o.d"
+  "/root/repo/src/core/experiments/extension_experiments.cpp" "src/CMakeFiles/fiveg.dir/core/experiments/extension_experiments.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/core/experiments/extension_experiments.cpp.o.d"
+  "/root/repo/src/core/experiments/handoff_experiments.cpp" "src/CMakeFiles/fiveg.dir/core/experiments/handoff_experiments.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/core/experiments/handoff_experiments.cpp.o.d"
+  "/root/repo/src/core/experiments/latency_experiments.cpp" "src/CMakeFiles/fiveg.dir/core/experiments/latency_experiments.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/core/experiments/latency_experiments.cpp.o.d"
+  "/root/repo/src/core/experiments/throughput_experiments.cpp" "src/CMakeFiles/fiveg.dir/core/experiments/throughput_experiments.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/core/experiments/throughput_experiments.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/fiveg.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/energy/policies.cpp" "src/CMakeFiles/fiveg.dir/energy/policies.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/energy/policies.cpp.o.d"
+  "/root/repo/src/energy/power_model.cpp" "src/CMakeFiles/fiveg.dir/energy/power_model.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/energy/power_model.cpp.o.d"
+  "/root/repo/src/energy/power_strip.cpp" "src/CMakeFiles/fiveg.dir/energy/power_strip.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/energy/power_strip.cpp.o.d"
+  "/root/repo/src/energy/rrc_power_machine.cpp" "src/CMakeFiles/fiveg.dir/energy/rrc_power_machine.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/energy/rrc_power_machine.cpp.o.d"
+  "/root/repo/src/energy/traffic_trace.cpp" "src/CMakeFiles/fiveg.dir/energy/traffic_trace.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/energy/traffic_trace.cpp.o.d"
+  "/root/repo/src/geo/building.cpp" "src/CMakeFiles/fiveg.dir/geo/building.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/geo/building.cpp.o.d"
+  "/root/repo/src/geo/campus.cpp" "src/CMakeFiles/fiveg.dir/geo/campus.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/geo/campus.cpp.o.d"
+  "/root/repo/src/geo/geometry.cpp" "src/CMakeFiles/fiveg.dir/geo/geometry.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/geo/geometry.cpp.o.d"
+  "/root/repo/src/geo/route.cpp" "src/CMakeFiles/fiveg.dir/geo/route.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/geo/route.cpp.o.d"
+  "/root/repo/src/measure/cdf.cpp" "src/CMakeFiles/fiveg.dir/measure/cdf.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/measure/cdf.cpp.o.d"
+  "/root/repo/src/measure/csv.cpp" "src/CMakeFiles/fiveg.dir/measure/csv.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/measure/csv.cpp.o.d"
+  "/root/repo/src/measure/histogram.cpp" "src/CMakeFiles/fiveg.dir/measure/histogram.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/measure/histogram.cpp.o.d"
+  "/root/repo/src/measure/kpi_logger.cpp" "src/CMakeFiles/fiveg.dir/measure/kpi_logger.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/measure/kpi_logger.cpp.o.d"
+  "/root/repo/src/measure/plot.cpp" "src/CMakeFiles/fiveg.dir/measure/plot.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/measure/plot.cpp.o.d"
+  "/root/repo/src/measure/stats.cpp" "src/CMakeFiles/fiveg.dir/measure/stats.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/measure/stats.cpp.o.d"
+  "/root/repo/src/measure/table.cpp" "src/CMakeFiles/fiveg.dir/measure/table.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/measure/table.cpp.o.d"
+  "/root/repo/src/measure/timeseries.cpp" "src/CMakeFiles/fiveg.dir/measure/timeseries.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/measure/timeseries.cpp.o.d"
+  "/root/repo/src/net/aqm.cpp" "src/CMakeFiles/fiveg.dir/net/aqm.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/net/aqm.cpp.o.d"
+  "/root/repo/src/net/cross_traffic.cpp" "src/CMakeFiles/fiveg.dir/net/cross_traffic.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/net/cross_traffic.cpp.o.d"
+  "/root/repo/src/net/epc.cpp" "src/CMakeFiles/fiveg.dir/net/epc.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/net/epc.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/fiveg.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/path.cpp" "src/CMakeFiles/fiveg.dir/net/path.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/net/path.cpp.o.d"
+  "/root/repo/src/net/queue.cpp" "src/CMakeFiles/fiveg.dir/net/queue.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/net/queue.cpp.o.d"
+  "/root/repo/src/net/ran_link.cpp" "src/CMakeFiles/fiveg.dir/net/ran_link.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/net/ran_link.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/fiveg.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/net/topology.cpp.o.d"
+  "/root/repo/src/net/traceroute.cpp" "src/CMakeFiles/fiveg.dir/net/traceroute.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/net/traceroute.cpp.o.d"
+  "/root/repo/src/net/udp.cpp" "src/CMakeFiles/fiveg.dir/net/udp.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/net/udp.cpp.o.d"
+  "/root/repo/src/radio/antenna.cpp" "src/CMakeFiles/fiveg.dir/radio/antenna.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/radio/antenna.cpp.o.d"
+  "/root/repo/src/radio/carrier.cpp" "src/CMakeFiles/fiveg.dir/radio/carrier.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/radio/carrier.cpp.o.d"
+  "/root/repo/src/radio/link_budget.cpp" "src/CMakeFiles/fiveg.dir/radio/link_budget.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/radio/link_budget.cpp.o.d"
+  "/root/repo/src/radio/mcs.cpp" "src/CMakeFiles/fiveg.dir/radio/mcs.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/radio/mcs.cpp.o.d"
+  "/root/repo/src/radio/pathloss.cpp" "src/CMakeFiles/fiveg.dir/radio/pathloss.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/radio/pathloss.cpp.o.d"
+  "/root/repo/src/radio/shadowing.cpp" "src/CMakeFiles/fiveg.dir/radio/shadowing.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/radio/shadowing.cpp.o.d"
+  "/root/repo/src/ran/cell.cpp" "src/CMakeFiles/fiveg.dir/ran/cell.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/ran/cell.cpp.o.d"
+  "/root/repo/src/ran/deployment.cpp" "src/CMakeFiles/fiveg.dir/ran/deployment.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/ran/deployment.cpp.o.d"
+  "/root/repo/src/ran/drx.cpp" "src/CMakeFiles/fiveg.dir/ran/drx.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/ran/drx.cpp.o.d"
+  "/root/repo/src/ran/handoff.cpp" "src/CMakeFiles/fiveg.dir/ran/handoff.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/ran/handoff.cpp.o.d"
+  "/root/repo/src/ran/harq.cpp" "src/CMakeFiles/fiveg.dir/ran/harq.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/ran/harq.cpp.o.d"
+  "/root/repo/src/ran/measurement_events.cpp" "src/CMakeFiles/fiveg.dir/ran/measurement_events.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/ran/measurement_events.cpp.o.d"
+  "/root/repo/src/ran/nsa_signaling.cpp" "src/CMakeFiles/fiveg.dir/ran/nsa_signaling.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/ran/nsa_signaling.cpp.o.d"
+  "/root/repo/src/ran/prb_scheduler.cpp" "src/CMakeFiles/fiveg.dir/ran/prb_scheduler.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/ran/prb_scheduler.cpp.o.d"
+  "/root/repo/src/ran/rrc.cpp" "src/CMakeFiles/fiveg.dir/ran/rrc.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/ran/rrc.cpp.o.d"
+  "/root/repo/src/ran/ue.cpp" "src/CMakeFiles/fiveg.dir/ran/ue.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/ran/ue.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/fiveg.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/fiveg.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/fiveg.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/tcp/cc_bbr.cpp" "src/CMakeFiles/fiveg.dir/tcp/cc_bbr.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/tcp/cc_bbr.cpp.o.d"
+  "/root/repo/src/tcp/cc_cubic.cpp" "src/CMakeFiles/fiveg.dir/tcp/cc_cubic.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/tcp/cc_cubic.cpp.o.d"
+  "/root/repo/src/tcp/cc_reno.cpp" "src/CMakeFiles/fiveg.dir/tcp/cc_reno.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/tcp/cc_reno.cpp.o.d"
+  "/root/repo/src/tcp/cc_vegas.cpp" "src/CMakeFiles/fiveg.dir/tcp/cc_vegas.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/tcp/cc_vegas.cpp.o.d"
+  "/root/repo/src/tcp/cc_veno.cpp" "src/CMakeFiles/fiveg.dir/tcp/cc_veno.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/tcp/cc_veno.cpp.o.d"
+  "/root/repo/src/tcp/congestion_control.cpp" "src/CMakeFiles/fiveg.dir/tcp/congestion_control.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/tcp/congestion_control.cpp.o.d"
+  "/root/repo/src/tcp/rtt_estimator.cpp" "src/CMakeFiles/fiveg.dir/tcp/rtt_estimator.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/tcp/rtt_estimator.cpp.o.d"
+  "/root/repo/src/tcp/tcp_receiver.cpp" "src/CMakeFiles/fiveg.dir/tcp/tcp_receiver.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/tcp/tcp_receiver.cpp.o.d"
+  "/root/repo/src/tcp/tcp_sender.cpp" "src/CMakeFiles/fiveg.dir/tcp/tcp_sender.cpp.o" "gcc" "src/CMakeFiles/fiveg.dir/tcp/tcp_sender.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for fiveg.
+# This may be replaced when dependencies are built.

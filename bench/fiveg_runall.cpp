@@ -1,0 +1,145 @@
+// The one entry point CI and humans share: runs the whole experiment
+// registry (or a filtered/smoke subset) across a thread pool and emits the
+// text tables on stdout plus an optional machine-readable JSON document.
+//
+// stdout is byte-identical for any --jobs value at the same seed; timing
+// goes to stderr.
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/runner.h"
+
+namespace {
+
+constexpr const char* kUsage = R"(usage: fiveg_runall [options]
+
+Runs the full experiment registry (every reproduced table/figure) across a
+thread pool. Output on stdout is byte-identical for any --jobs value at the
+same seed; per-experiment timing is printed to stderr.
+
+options:
+  --jobs N      worker threads (default: hardware concurrency; 1 = serial)
+  --seed N      base seed; every experiment runs on its own fork (default 42)
+  --filter S    only experiments whose name contains the substring S
+  --smoke       only the fast smoke-tier experiments (CI per-commit tier)
+  --timeout S   per-experiment wall-clock cap in seconds, 0 = off
+                (default 600); a hung experiment is reported, not fatal
+  --json PATH   also write machine-readable results to PATH ('-' = stdout,
+                which suppresses the text tables)
+  --no-timing   omit wall-clock fields from the JSON (byte-stable output)
+  --quiet       suppress the text tables on stdout
+  --list        list the selected experiment names and exit
+  -h, --help    this message
+)";
+
+bool parse_u64(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  *out = std::strtoull(s, &end, 10);
+  return end != s && *end == '\0';
+}
+
+bool parse_int(const char* s, int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  *out = static_cast<int>(v);
+  return end != s && *end == '\0';
+}
+
+bool parse_double(const char* s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s, &end);
+  return end != s && *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fiveg::core::RunnerOptions opt;
+  opt.jobs = 0;  // hardware concurrency
+  opt.timeout_s = 600;
+  std::string json_path;
+  bool include_timing = true;
+  bool quiet = false;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs") {
+      if (!parse_int(need_value(), &opt.jobs)) {
+        std::cerr << "bad --jobs value\n";
+        return 2;
+      }
+    } else if (arg == "--seed") {
+      std::uint64_t seed = 0;
+      if (!parse_u64(need_value(), &seed)) {
+        std::cerr << "bad --seed value\n";
+        return 2;
+      }
+      opt.seed = seed;
+    } else if (arg == "--filter") {
+      opt.filter = need_value();
+    } else if (arg == "--smoke") {
+      opt.smoke_only = true;
+    } else if (arg == "--timeout") {
+      if (!parse_double(need_value(), &opt.timeout_s) || opt.timeout_s < 0) {
+        std::cerr << "bad --timeout value\n";
+        return 2;
+      }
+    } else if (arg == "--json") {
+      json_path = need_value();
+    } else if (arg == "--no-timing") {
+      include_timing = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n" << kUsage;
+      return 2;
+    }
+  }
+
+  const fiveg::core::Runner runner(opt);
+  if (list_only) {
+    for (const std::string& name : runner.selected()) {
+      std::cout << name << "\n";
+    }
+    return 0;
+  }
+  if (runner.selected().empty()) {
+    std::cerr << "no experiments match\n";
+    return 2;
+  }
+
+  const fiveg::core::RunSummary summary = runner.run();
+
+  if (json_path == "-") {
+    fiveg::core::write_json(summary, std::cout, include_timing);
+  } else {
+    if (!json_path.empty()) {
+      std::ofstream f(json_path);
+      if (!f) {
+        std::cerr << "cannot open " << json_path << " for writing\n";
+        return 2;
+      }
+      fiveg::core::write_json(summary, f, include_timing);
+    }
+    if (!quiet) fiveg::core::write_text(summary, std::cout);
+  }
+  fiveg::core::write_timing(summary, std::cerr);
+  return summary.all_ok() ? 0 : 1;
+}

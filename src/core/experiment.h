@@ -1,6 +1,8 @@
 // Experiment framework: every reproduced table/figure is an Experiment
 // registered by name. Bench binaries look experiments up and run them; the
-// output is a text table with the paper's values printed beside ours.
+// output is a text table with the paper's values printed beside ours, plus
+// an optional structured result (status, wall-clock, named metric series)
+// consumed by the parallel Runner and the JSON emitter.
 #pragma once
 
 #include <cstdint>
@@ -8,14 +10,62 @@
 #include <iosfwd>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace fiveg::core {
 
+/// Terminal state of one experiment run.
+enum class RunStatus {
+  kOk,        // ran to completion
+  kFailed,    // threw; `error` holds the message
+  kTimedOut,  // exceeded the per-experiment timeout; abandoned
+};
+
+[[nodiscard]] std::string_view to_string(RunStatus status);
+
+/// One (x, y) sample of a named metric.
+struct MetricPoint {
+  double x = 0;
+  double y = 0;
+};
+
+/// A named key/value series recorded by an experiment, e.g. the measured
+/// coverage-hole fraction or a per-algorithm utilisation sweep.
+struct MetricSeries {
+  std::string name;
+  std::string unit;  // free-form: "%", "Mbps", "ms", ...
+  std::vector<MetricPoint> points;
+};
+
+/// Machine-readable outcome of one experiment run. Filled by the Runner;
+/// experiments append to `metrics` through ExperimentContext::metric().
+struct ExperimentResult {
+  std::string name;
+  std::string paper_ref;
+  std::string description;
+  RunStatus status = RunStatus::kOk;
+  std::string error;       // nonempty iff status != kOk
+  std::uint64_t seed = 0;  // the per-experiment forked seed actually used
+  double wall_ms = 0;      // wall-clock, excluded from determinism checks
+  std::string text;        // the captured text-table output
+  std::vector<MetricSeries> metrics;
+};
+
 /// Everything an experiment run needs.
 struct ExperimentContext {
   std::uint64_t seed = 42;
-  std::ostream* out = nullptr;  // never null when run via the registry
+  std::ostream* out = nullptr;         // never null when run via the registry
+  ExperimentResult* result = nullptr;  // null when structured capture is off
+
+  /// Records a scalar sample of `series` (x = running sample index).
+  /// No-op when `result` is null, so experiments record unconditionally.
+  void metric(std::string_view series, double value,
+              std::string_view unit = "") const;
+
+  /// Records an (x, y) sample of `series`, e.g. a sweep point.
+  void metric_point(std::string_view series, double x, double y,
+                    std::string_view unit = "") const;
 };
 
 /// One reproducible table/figure.
@@ -29,6 +79,10 @@ class Experiment {
   [[nodiscard]] virtual std::string paper_ref() const = 0;
   [[nodiscard]] virtual std::string description() const = 0;
 
+  /// True for experiments cheap enough for the CI smoke tier (sub-second
+  /// to a few seconds). The default is the full tier.
+  [[nodiscard]] virtual bool smoke() const { return false; }
+
   virtual void run(const ExperimentContext& ctx) = 0;
 };
 
@@ -39,7 +93,13 @@ class ExperimentRegistry {
 
   static ExperimentRegistry& instance();
 
+  /// Registers a factory. Throws std::invalid_argument if an experiment
+  /// with the same name is already registered.
   void add(Factory factory);
+
+  /// Instantiates the named experiment; null if unknown.
+  [[nodiscard]] std::unique_ptr<Experiment> create(
+      const std::string& name) const;
 
   /// Runs the named experiment; returns false if unknown.
   bool run(const std::string& name, const ExperimentContext& ctx);
@@ -48,7 +108,11 @@ class ExperimentRegistry {
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
-  std::vector<Factory> factories_;
+  struct Entry {
+    std::string name;
+    Factory factory;
+  };
+  std::vector<Entry> entries_;
 };
 
 /// Adds an experiment type to the registry.
@@ -68,6 +132,11 @@ void register_app_experiments();
 void register_energy_experiments();
 void register_ablation_experiments();
 void register_extension_experiments();
+
+/// Prints the standard "### name — reproduces ..." banner that precedes
+/// every experiment's tables (shared by the registry and the Runner).
+void print_banner(const Experiment& exp, std::uint64_t seed,
+                  std::ostream& os);
 
 /// Standard bench-binary main body: runs one experiment (or all when
 /// `name` is empty) with an optional seed argument.

@@ -50,6 +50,7 @@ class BufferSizingAblation final : public Experiment {
       t.add_row({TextTable::num(scale, 1),
                  TextTable::num(base * scale / 1024.0, 0),
                  TextTable::pct(util)});
+      ctx.metric_point("cubic_util_vs_buffer_scale", scale, util, "fraction");
     }
     t.print(*ctx.out);
     *ctx.out << "the paper's recommendation: ~2x wired buffers largely "
@@ -67,6 +68,7 @@ class SaHandoffAblation final : public Experiment {
     return "5G-5G hand-off latency with the NSA detour legs removed (an SA "
            "preview)";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     // SA removes: NR release, roll-back, LTE RACH detour and re-addition —
@@ -88,6 +90,10 @@ class SaHandoffAblation final : public Experiment {
     *ctx.out << "removing the NSA detour recovers "
              << TextTable::pct(1.0 - sa.mean() / nsa.mean())
              << " of the hand-off latency\n\n";
+    ctx.metric("nsa_ho_ms", nsa.mean(), "ms");
+    ctx.metric("sa_ho_ms", sa.mean(), "ms");
+    ctx.metric("sa_latency_recovered", 1.0 - sa.mean() / nsa.mean(),
+               "fraction");
   }
 };
 
@@ -101,6 +107,7 @@ class TailTimerAblation final : public Experiment {
     return "Web-browsing energy vs the NR tail timer: shorter tails close "
            "most of the NSA-vs-Oracle gap";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     const energy::TrafficTrace trace =
@@ -119,6 +126,7 @@ class TailTimerAblation final : public Experiment {
                            .radio_joules;
       t.add_row({TextTable::num(tail_s, 2), TextTable::num(j, 1),
                  TextTable::pct(j / stock - 1.0)});
+      ctx.metric_point("web_energy_vs_tail", tail_s, j, "J");
     }
     t.print(*ctx.out);
   }
@@ -168,6 +176,8 @@ class CcRobustnessAblation final : public Experiment {
       }
       t.add_row({TextTable::num(duty_scale, 1), TextTable::pct(util[0]),
                  TextTable::pct(util[1])});
+      ctx.metric_point("cubic_util_vs_duty", duty_scale, util[0], "fraction");
+      ctx.metric_point("bbr_util_vs_duty", duty_scale, util[1], "fraction");
     }
     t.print(*ctx.out);
   }

@@ -73,6 +73,8 @@ class Fig16Experiment final : public Experiment {
     s.add_row({"5G download-only reduction", TextTable::pct(1.0 - dl5 / dl4),
                TextTable::pct(paper::kDownloadReduction)});
     s.print(*ctx.out);
+    ctx.metric("plt_reduction", 1.0 - plt5 / plt4, "fraction");
+    ctx.metric("download_reduction", 1.0 - dl5 / dl4, "fraction");
 
     TextTable t17("Fig. 17 — PLT by image size (seconds)",
                   {"size (MB)", "5G download", "5G total", "4G download",
@@ -184,6 +186,12 @@ class Fig18And19Experiment final : public Experiment {
                TextTable::num(spread(dy), 1), std::to_string(dy.freeze_events),
                std::to_string(paper::kFreezeEvents5p7K)});
     f.print(*ctx.out);
+    ctx.metric("static_5p7k_mbps", st.mean_received_throughput_bps / 1e6,
+               "Mbps");
+    ctx.metric("dynamic_5p7k_mbps", dy.mean_received_throughput_bps / 1e6,
+               "Mbps");
+    ctx.metric("dynamic_freeze_events",
+               static_cast<double>(dy.freeze_events), "count");
   }
 };
 
@@ -227,6 +235,10 @@ class Fig20Experiment final : public Experiment {
              << TextTable::num(proc_ms / std::max(net_ms, 1.0), 1)
              << "x (paper: ~10x; requirement is "
              << paper::kFrameDelayReqMs << " ms)\n\n";
+    ctx.metric("nr_median_frame_delay_s", nr.frame_delay_s.quantile(0.5),
+               "s");
+    ctx.metric("processing_over_network", proc_ms / std::max(net_ms, 1.0),
+               "ratio");
   }
 };
 
@@ -237,6 +249,7 @@ class DslExperiment final : public Experiment {
   std::string description() const override {
     return "Can 5G replace DSL? Per-house share of a residential gNB";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     // A CPE parked at a favourable indoor spot (near a window) gets
@@ -267,6 +280,7 @@ class DslExperiment final : public Experiment {
     t.add_row({"US DSL average (Mbps)", TextTable::num(paper::kDslMbps, 0),
                TextTable::num(paper::kDslMbps, 0)});
     t.print(*ctx.out);
+    ctx.metric("per_house_mbps", per_house, "Mbps");
   }
 };
 

@@ -52,6 +52,7 @@ class Table1Experiment final : public Experiment {
   std::string description() const override {
     return "Band, cell counts and mean RSRP of the co-located 4G/5G networks";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     const Scenario sc(ctx.seed);
@@ -77,6 +78,8 @@ class Table1Experiment final : public Experiment {
                TextTable::pm(nr.mean(), nr.stddev()),
                TextTable::pm(paper::kNrRsrpMean, paper::kNrRsrpStd)});
     t.print(*ctx.out);
+    ctx.metric("lte_rsrp_mean", lte.mean(), "dBm");
+    ctx.metric("nr_rsrp_mean", nr.mean(), "dBm");
   }
 };
 
@@ -87,6 +90,7 @@ class Table2Experiment final : public Experiment {
   std::string description() const override {
     return "RSRP distribution: coverage holes are 4.6x more common on 5G";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     const Scenario sc(ctx.seed);
@@ -134,6 +138,8 @@ class Table2Experiment final : public Experiment {
     holes.add_row({"4G (6 eNBs)", TextTable::pct(lte6.fraction(0)),
                    TextTable::pct(paper::kLte6RsrpDist[5])});
     holes.print(*ctx.out);
+    ctx.metric("nr_hole_fraction", nr.fraction(0), "fraction");
+    ctx.metric("lte_hole_fraction", lte.fraction(0), "fraction");
   }
 };
 
@@ -144,6 +150,7 @@ class Fig2Experiment final : public Experiment {
   std::string description() const override {
     return "Campus RSRP map (ASCII) and the bit-rate contour of one gNB cell";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     const Scenario sc(ctx.seed);
@@ -213,6 +220,7 @@ class Fig2Experiment final : public Experiment {
       }
       t.add_row({TextTable::num(d, 0), TextTable::num(rate.mean() / 1e6, 0),
                  TextTable::num(rsrp.mean(), 1)});
+      ctx.metric_point("bitrate_vs_distance", d, rate.mean() / 1e6, "Mbps");
     }
     t.print(*ctx.out);
     TextTable r("Single-cell link range",
@@ -220,6 +228,9 @@ class Fig2Experiment final : public Experiment {
     r.add_row({"5G", TextTable::num(range_m, 0),
                TextTable::num(paper::kNrLinkRangeM, 0)});
     r.print(*ctx.out);
+    ctx.metric("nr_link_range", range_m, "m");
+    ctx.metric("outdoor_hole_fraction", static_cast<double>(holes) / total,
+               "fraction");
   }
 };
 
@@ -230,6 +241,7 @@ class Fig3Experiment final : public Experiment {
   std::string description() const override {
     return "Indoor/outdoor bit-rate gap: ~51% drop on 5G vs ~20% on 4G";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     const Scenario sc(ctx.seed);
@@ -265,6 +277,8 @@ class Fig3Experiment final : public Experiment {
                TextTable::pct(lte_drop),
                TextTable::pct(paper::kLteIndoorDrop)});
     t.print(*ctx.out);
+    ctx.metric("nr_indoor_drop", nr_drop, "fraction");
+    ctx.metric("lte_indoor_drop", lte_drop, "fraction");
   }
 };
 

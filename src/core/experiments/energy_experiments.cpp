@@ -27,9 +27,9 @@ class Fig21Experiment final : public Experiment {
     return "Power breakdown running daily apps: the 5G radio out-draws the "
            "screen and doubles-to-triples the 4G radio";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
-    (void)ctx;
     const energy::RrcPowerMachine machine;
     const energy::ComponentPower components;
     int n = 0;
@@ -59,6 +59,7 @@ class Fig21Experiment final : public Experiment {
     s.add_row({"5G radio share (avg)", TextTable::pct(share5_sum / n),
                TextTable::pct(paper::kRadioShare5G)});
     s.print(*ctx.out);
+    ctx.metric("radio_share_5g", share5_sum / n, "fraction");
   }
 };
 
@@ -70,9 +71,9 @@ class Fig22Experiment final : public Experiment {
     return "Radio energy per bit vs transfer duration under saturated "
            "traffic: 5G approaches 1/4 of 4G";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
-    (void)ctx;
     const energy::RrcPowerMachine machine;
     TextTable t("Fig. 22 — energy per bit (uJ/bit) vs transfer time",
                 {"transfer (s)", "4G", "5G", "4G/5G ratio"});
@@ -85,8 +86,11 @@ class Fig22Experiment final : public Experiment {
       last_ratio = lte / nr;
       t.add_row({TextTable::num(secs, 0), TextTable::num(lte, 4),
                  TextTable::num(nr, 4), TextTable::num(last_ratio, 1)});
+      ctx.metric_point("lte_uj_per_bit", secs, lte, "uJ/bit");
+      ctx.metric_point("nr_uj_per_bit", secs, nr, "uJ/bit");
     }
     t.print(*ctx.out);
+    ctx.metric("energy_per_bit_ratio", last_ratio, "x");
     *ctx.out << "long-transfer ratio " << TextTable::num(last_ratio, 1)
              << "x vs paper ~" << TextTable::num(paper::kEnergyPerBitRatio, 0)
              << "x. Absolute uJ/bit runs below the paper's axis because our "
@@ -103,6 +107,7 @@ class Fig23Experiment final : public Experiment {
     return "Power trace of 10 web loads at 3 s intervals: jagged DRX "
            "plateaus and the compounded NSA tail";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     const energy::RrcPowerMachine machine;
@@ -145,6 +150,12 @@ class Fig23Experiment final : public Experiment {
                TextTable::num(sim::to_seconds(nsa.duration - nsa.completion), 1),
                "~20"});
     s.print(*ctx.out);
+    ctx.metric("web_energy_ratio_5g_over_4g",
+               nsa.radio_joules / lte.radio_joules, "x");
+    ctx.metric("lte_tail_s", sim::to_seconds(lte.duration - lte.completion),
+               "s");
+    ctx.metric("nr_tail_s", sim::to_seconds(nsa.duration - nsa.completion),
+               "s");
   }
 };
 
@@ -156,6 +167,7 @@ class Table4Experiment final : public Experiment {
     return "Energy of power-management models over web/video/file traces; "
            "dynamic 4G/5G switching recovers most of the waste";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     sim::Rng rng = sim::Rng(ctx.seed).fork("table4");
@@ -209,7 +221,11 @@ class Table4Experiment final : public Experiment {
       s.add_row({std::string("Oracle vs NSA (") + workloads[wi].name + ")",
                  TextTable::pct(1.0 - joules[wi][2] / joules[wi][1]),
                  TextTable::pct(paper::kOracleSavings[wi])});
+      ctx.metric(std::string("oracle_saving_") + workloads[wi].name,
+                 1.0 - joules[wi][2] / joules[wi][1], "fraction");
     }
+    ctx.metric("dyn_web_saving", 1.0 - joules[0][3] / joules[0][1],
+               "fraction");
     s.add_row({"Dyn. switch vs NSA (Web)",
                TextTable::pct(1.0 - joules[0][3] / joules[0][1]),
                TextTable::pct(paper::kDynWebSaving)});

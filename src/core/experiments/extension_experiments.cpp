@@ -197,6 +197,7 @@ class SaEnergyExperiment final : public Experiment {
     return "Energy of the future SA state machine (direct promotion, single "
            "tail, RRC_INACTIVE) vs NSA";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     const energy::RrcPowerMachine machine;
@@ -219,6 +220,8 @@ class SaEnergyExperiment final : public Experiment {
           machine.replay(w.trace, energy::RadioModel::kNrSa).radio_joules;
       t.add_row({w.name, TextTable::num(nsa, 1), TextTable::num(sa, 1),
                  TextTable::pct(1.0 - sa / nsa)});
+      ctx.metric(std::string("sa_saving_") + w.name, 1.0 - sa / nsa,
+                 "fraction");
     }
     t.print(*ctx.out);
   }
@@ -476,6 +479,7 @@ class DensificationExperiment final : public Experiment {
   std::string description() const override {
     return "Coverage holes vs gNB count on the same campus";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     const geo::CampusMap campus =
@@ -499,6 +503,8 @@ class DensificationExperiment final : public Experiment {
                  std::to_string(dep.cells(radio::Rat::kNr).size()),
                  TextTable::pct(static_cast<double>(holes) / n),
                  TextTable::num(rsrp.mean(), 1)});
+      ctx.metric_point("hole_fraction_vs_sites", sites,
+                       static_cast<double>(holes) / n, "fraction");
     }
     t.print(*ctx.out);
     *ctx.out << "the stock 6-site deployment reproduces the paper's 8% "
@@ -516,6 +522,7 @@ class CellLoadExperiment final : public Experiment {
   std::string description() const override {
     return "Per-user bit-rate vs competing users on one cell";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     TextTable t("Extension — PRB contention on one cell",
@@ -539,6 +546,8 @@ class CellLoadExperiment final : public Experiment {
                  TextTable::num(lte_rate / 1e6, 0),
                  TextTable::pct(nr_share.mean()),
                  TextTable::num(nr_rate / 1e6, 0)});
+      ctx.metric_point("lte_rate_vs_users", users, lte_rate / 1e6, "Mbps");
+      ctx.metric_point("nr_rate_vs_users", users, nr_rate / 1e6, "Mbps");
     }
     t.print(*ctx.out);
     *ctx.out << "the paper's daytime 4G baseline (130 Mbps) matches ~1 "

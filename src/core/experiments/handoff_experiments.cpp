@@ -102,9 +102,12 @@ class Fig4And5Experiment final : public Experiment {
                   TextTable::pct(paper::kHoGoodFraction)});
     }
     if (total > 0) {
+      const double good_frac = static_cast<double>(good) / total;
       t5.add_row({"all", std::to_string(total), "",
-                  TextTable::pct(static_cast<double>(good) / total),
+                  TextTable::pct(good_frac),
                   TextTable::pct(paper::kHoGoodFraction)});
+      ctx.metric("ho_good_fraction", good_frac, "fraction");
+      ctx.metric("ho_count", static_cast<double>(total), "count");
     }
     t5.print(*ctx.out);
   }
@@ -149,6 +152,8 @@ class Fig6Experiment final : public Experiment {
                  TextTable::num(cdf.quantile(0.1), 1),
                  TextTable::num(cdf.quantile(0.9), 1),
                  paper_ms > 0 ? TextTable::num(paper_ms, 1) : "-"});
+      ctx.metric(std::string("ho_latency_") + ran::to_string(type),
+                 cdf.mean(), "ms");
     }
     t.print(*ctx.out);
 
@@ -169,6 +174,7 @@ class Fig10Experiment final : public Experiment {
   std::string description() const override {
     return "HARQ retransmission distribution: the RAN hides its losses";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     sim::Rng rng = sim::Rng(ctx.seed).fork("harq");
@@ -195,6 +201,10 @@ class Fig10Experiment final : public Experiment {
                  TextTable::pct(lte.attempt_probability(n + 1)),
                  TextTable::pct(static_cast<double>(nr_ge) / blocks),
                  TextTable::pct(nr.attempt_probability(n + 1))});
+      ctx.metric_point("lte_retx_ge", n,
+                       static_cast<double>(lte_ge) / blocks, "fraction");
+      ctx.metric_point("nr_retx_ge", n,
+                       static_cast<double>(nr_ge) / blocks, "fraction");
     }
     t.print(*ctx.out);
     *ctx.out << "residual loss after 32 attempts: 4G "
@@ -277,6 +287,8 @@ class Fig12Experiment final : public Experiment {
       t.add_row({ran::to_string(type), std::to_string(cdf.count()),
                  TextTable::pct(cdf.mean()),
                  p >= 0 ? TextTable::pct(p) : "-"});
+      ctx.metric(std::string("ho_drop_") + ran::to_string(type), cdf.mean(),
+                 "fraction");
     }
     t.print(*ctx.out);
   }
@@ -292,6 +304,7 @@ class EventMixExperiment final : public Experiment {
     return "Share of A1/A2/A3/A5/B1 measurement reports along a survey "
            "walk (the paper: 21.98/0.18/67.25/9.19/1.40%)";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     const Scenario sc(ctx.seed);
@@ -354,6 +367,9 @@ class EventMixExperiment final : public Experiment {
       t.add_row({name, std::to_string(n),
                  total > 0 ? TextTable::pct(n / total) : "-",
                  TextTable::pct(paper)});
+      if (total > 0) {
+        ctx.metric(std::string("share_") + name, n / total, "fraction");
+      }
     };
     row("A1", n_a1, 0.2198);
     row("A2", n_a2, 0.0018);

@@ -42,6 +42,7 @@ class Fig13Experiment final : public Experiment {
   std::string description() const override {
     return "4G vs 5G RTT across 80 wide-area paths: ~22 ms constant gap";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     // 4 gNB sites x 20 servers = 80 paths, like the paper.
@@ -74,6 +75,8 @@ class Fig13Experiment final : public Experiment {
     s.add_row({"RTT gap 4G - 5G (ms)", TextTable::num(gap.mean(), 1),
                TextTable::num(paper::kRttGapMs, 1)});
     s.print(*ctx.out);
+    ctx.metric("nr_one_way_ms", nr_all.mean() / 2, "ms");
+    ctx.metric("rtt_gap_ms", gap.mean(), "ms");
   }
 };
 
@@ -85,6 +88,7 @@ class Fig14Experiment final : public Experiment {
     return "Per-hop RTT on an 8-hop path: the flat 5G core saves ~20 ms at "
            "hop 2; the RAN saves <1 ms";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     TextTable t("Fig. 14 — RTT vs hop count (ms)",
@@ -113,6 +117,10 @@ class Fig14Experiment final : public Experiment {
       if (h == 1) note = "EPC/fronthaul (paper: ~20 ms apart)";
       t.add_row({std::to_string(h + 1), TextTable::num(rtts[0][h], 2),
                  TextTable::num(rtts[1][h], 2), note});
+      ctx.metric_point("nr_rtt_by_hop", static_cast<double>(h + 1),
+                       rtts[0][h], "ms");
+      ctx.metric_point("lte_rtt_by_hop", static_cast<double>(h + 1),
+                       rtts[1][h], "ms");
     }
     t.print(*ctx.out);
   }
@@ -125,6 +133,7 @@ class Fig15Experiment final : public Experiment {
   std::string description() const override {
     return "RTT vs path length: wireline distance swamps 5G's edge gains";
   }
+  bool smoke() const override { return true; }
 
   void run(const ExperimentContext& ctx) override {
     TextTable t("Fig. 15 — RTT vs geographic distance",
@@ -140,6 +149,7 @@ class Fig15Experiment final : public Experiment {
       t.add_row({server.city, TextTable::num(server.distance_km, 0),
                  TextTable::num(nr.mean(), 1), TextTable::num(lte.mean(), 1),
                  TextTable::pct((lte.mean() - nr.mean()) / lte.mean())});
+      ctx.metric_point("nr_rtt_vs_km", server.distance_km, nr.mean(), "ms");
     }
     t.print(*ctx.out);
     if (rtt_2500.count() > 0) {

@@ -77,6 +77,8 @@ class Fig7Experiment final : public Experiment {
                   ctx.seed);
       udp.add_row({label, TextTable::num(r.mean_throughput_bps / 1e6, 0),
                    TextTable::num(paper_mbps, 0)});
+      ctx.metric(std::string("udp_") + label, r.mean_throughput_bps / 1e6,
+                 "Mbps");
     };
     udp_row("5G day", radio::Rat::kNr, ran::LoadRegime::kDay,
             paper::kNrUdpDayMbps);
@@ -102,6 +104,10 @@ class Fig7Experiment final : public Experiment {
                  TextTable::pct(paper::kUtil5G[i]),
                  TextTable::pct(lte / (paper::kLteUdpDayMbps * 1e6)),
                  TextTable::pct(paper::kUtil4G[i])});
+      ctx.metric(std::string("util_5g_") + tcp::to_string(algo),
+                 nr / (paper::kNrUdpDayMbps * 1e6), "fraction");
+      ctx.metric(std::string("util_4g_") + tcp::to_string(algo),
+                 lte / (paper::kLteUdpDayMbps * 1e6), "fraction");
     }
     t.print(*ctx.out);
   }
@@ -197,6 +203,8 @@ class Fig9Experiment final : public Experiment {
       if (f == 0.5) note = "paper: 5G >3.1%, ~10x the 4G loss";
       t.add_row({TextTable::num(f, 2), TextTable::pct(nr.loss_ratio),
                  TextTable::pct(lte.loss_ratio), note});
+      ctx.metric_point("nr_loss_vs_load", f, nr.loss_ratio, "fraction");
+      ctx.metric_point("lte_loss_vs_load", f, lte.loss_ratio, "fraction");
     }
     t.print(*ctx.out);
   }
@@ -251,6 +259,13 @@ class Fig11Experiment final : public Experiment {
     t.add_row({"runs >= 8 packets", std::to_string(bursts8)});
     t.add_row({"longest run", std::to_string(max_burst)});
     t.print(*ctx.out);
+    ctx.metric("mean_loss_run_length",
+               burst_lengths.empty()
+                   ? 0.0
+                   : static_cast<double>(lost) / burst_lengths.size(),
+               "packets");
+    ctx.metric("longest_loss_run", static_cast<double>(max_burst),
+               "packets");
     *ctx.out << "paper: losses show a clear bursty pattern caused by "
                 "intermittent buffer overflow\n\n";
   }
@@ -309,6 +324,10 @@ class Table3Experiment final : public Experiment {
                  TextTable::num(paper::kBuf4G[i], 0),
                  TextTable::num(est5[static_cast<std::size_t>(i)], 0),
                  TextTable::num(paper::kBuf5G[i], 0)});
+      ctx.metric_point("buf_4g_packets", i,
+                       est4[static_cast<std::size_t>(i)], "packets");
+      ctx.metric_point("buf_5g_packets", i,
+                       est5[static_cast<std::size_t>(i)], "packets");
     }
     t.print(*ctx.out);
 

@@ -1,0 +1,268 @@
+#include "core/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "measure/json.h"
+#include "sim/rng.h"
+
+namespace fiveg::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Shared between the worker and the (possibly abandoned) experiment thread.
+// On timeout the worker walks away and the thread keeps writing here until
+// the experiment returns; the shared_ptr keeps the state alive for it.
+struct ExecState {
+  std::ostringstream out;
+  ExperimentResult result;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+};
+
+// Runs the experiment body, capturing text, metrics and exceptions.
+void execute(Experiment& exp, std::uint64_t seed, ExecState& state) {
+  ExperimentContext ctx;
+  ctx.seed = seed;
+  ctx.out = &state.out;
+  ctx.result = &state.result;
+  try {
+    print_banner(exp, seed, state.out);
+    exp.run(ctx);
+    state.result.status = RunStatus::kOk;
+  } catch (const std::exception& e) {
+    state.result.status = RunStatus::kFailed;
+    state.result.error = e.what();
+  } catch (...) {
+    state.result.status = RunStatus::kFailed;
+    state.result.error = "unknown exception";
+  }
+}
+
+}  // namespace
+
+int RunSummary::count(RunStatus status) const {
+  int n = 0;
+  for (const ExperimentResult& r : results) n += (r.status == status);
+  return n;
+}
+
+bool RunSummary::all_ok() const {
+  return count(RunStatus::kOk) == static_cast<int>(results.size());
+}
+
+Runner::Runner(RunnerOptions opt, ExperimentRegistry* registry)
+    : opt_(std::move(opt)),
+      registry_(registry != nullptr ? registry
+                                    : &ExperimentRegistry::instance()) {}
+
+std::uint64_t Runner::fork_seed(std::uint64_t base_seed,
+                                std::string_view name) {
+  return sim::Rng(base_seed).fork(name).seed();
+}
+
+std::vector<std::string> Runner::selected() const {
+  std::vector<std::string> out;
+  for (const std::string& name : registry_->names()) {
+    if (!opt_.filter.empty() &&
+        name.find(opt_.filter) == std::string::npos) {
+      continue;
+    }
+    if (opt_.smoke_only && !registry_->create(name)->smoke()) continue;
+    out.push_back(name);
+  }
+  return out;  // names() is already sorted
+}
+
+ExperimentResult Runner::run_one(const std::string& name) const {
+  auto exp = registry_->create(name);
+  auto state = std::make_shared<ExecState>();
+  ExperimentResult& res = state->result;
+  res.name = name;
+  res.paper_ref = exp->paper_ref();
+  res.description = exp->description();
+  res.seed = fork_seed(opt_.seed, name);
+
+  const auto start = Clock::now();
+  if (opt_.timeout_s <= 0) {
+    execute(*exp, res.seed, *state);
+    res.wall_ms = ms_since(start);
+    res.text = state->out.str();
+    return std::move(res);
+  }
+
+  // Run the body on its own thread so a hang can be abandoned. The thread
+  // owns the experiment and a reference to the shared state; after a
+  // timeout nobody reads that state again.
+  std::shared_ptr<Experiment> owned = std::move(exp);
+  std::thread worker([owned, state, seed = res.seed] {
+    execute(*owned, seed, *state);
+    const std::lock_guard<std::mutex> lock(state->mu);
+    state->done = true;
+    state->cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  const bool finished = state->cv.wait_for(
+      lock, std::chrono::duration<double>(opt_.timeout_s),
+      [&] { return state->done; });
+  if (finished) {
+    lock.unlock();
+    worker.join();
+    res.wall_ms = ms_since(start);
+    res.text = state->out.str();
+    return std::move(res);
+  }
+
+  // Abandon the hung experiment: report a timeout result assembled from
+  // metadata only (the state buffers are still being written to).
+  lock.unlock();
+  worker.detach();
+  ExperimentResult timed_out;
+  timed_out.name = res.name;
+  timed_out.paper_ref = res.paper_ref;
+  timed_out.description = res.description;
+  timed_out.seed = res.seed;
+  timed_out.status = RunStatus::kTimedOut;
+  {
+    std::ostringstream msg;
+    msg << "exceeded per-experiment timeout of " << opt_.timeout_s << " s";
+    timed_out.error = msg.str();
+  }
+  timed_out.wall_ms = ms_since(start);
+  return timed_out;
+}
+
+RunSummary Runner::run() const {
+  const std::vector<std::string> names = selected();
+  RunSummary summary;
+  summary.results.resize(names.size());
+
+  int jobs = opt_.jobs;
+  if (jobs <= 0) {
+    jobs = static_cast<int>(std::thread::hardware_concurrency());
+    if (jobs <= 0) jobs = 1;
+  }
+  jobs = std::min<int>(jobs, static_cast<int>(names.size()));
+  jobs = std::max(jobs, 1);
+
+  const auto start = Clock::now();
+  std::atomic<std::size_t> next{0};
+  const auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= names.size()) return;
+      summary.results[i] = run_one(names[i]);
+    }
+  };
+
+  if (jobs == 1) {
+    drain();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(jobs));
+    for (int j = 0; j < jobs; ++j) pool.emplace_back(drain);
+    for (std::thread& t : pool) t.join();
+  }
+  summary.wall_ms = ms_since(start);
+  return summary;
+}
+
+void write_text(const RunSummary& summary, std::ostream& os) {
+  for (const ExperimentResult& r : summary.results) {
+    if (r.status == RunStatus::kOk) {
+      os << r.text;
+    } else {
+      os << "### " << r.name << " — " << to_string(r.status) << ": "
+         << r.error << "\n\n";
+    }
+  }
+  os << summary.results.size() << " experiments: "
+     << summary.count(RunStatus::kOk) << " ok, "
+     << summary.count(RunStatus::kFailed) << " failed, "
+     << summary.count(RunStatus::kTimedOut) << " timed out\n";
+}
+
+void write_json(const RunSummary& summary, std::ostream& os,
+                bool include_timing) {
+  measure::JsonWriter w(os);
+  w.begin_object();
+  w.kv("schema", "fiveg-runall/v1");
+  w.key("experiments");
+  w.begin_array();
+  for (const ExperimentResult& r : summary.results) {
+    w.begin_object();
+    w.kv("name", r.name);
+    w.kv("paper_ref", r.paper_ref);
+    w.kv("description", r.description);
+    w.kv("seed", r.seed);
+    w.kv("status", to_string(r.status));
+    if (r.status != RunStatus::kOk) w.kv("error", r.error);
+    if (include_timing) w.kv("wall_ms", r.wall_ms);
+    w.key("metrics");
+    w.begin_array();
+    for (const MetricSeries& s : r.metrics) {
+      w.begin_object();
+      w.kv("name", s.name);
+      w.kv("unit", s.unit);
+      w.key("points");
+      w.begin_array();
+      for (const MetricPoint& p : s.points) {
+        w.begin_array();
+        w.value(p.x);
+        w.value(p.y);
+        w.end_array();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.kv("text", r.text);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("summary");
+  w.begin_object();
+  w.kv("total", static_cast<std::int64_t>(summary.results.size()));
+  w.kv("ok", summary.count(RunStatus::kOk));
+  w.kv("failed", summary.count(RunStatus::kFailed));
+  w.kv("timed_out", summary.count(RunStatus::kTimedOut));
+  if (include_timing) w.kv("wall_ms", summary.wall_ms);
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+void write_timing(const RunSummary& summary, std::ostream& os) {
+  std::vector<const ExperimentResult*> by_time;
+  by_time.reserve(summary.results.size());
+  for (const ExperimentResult& r : summary.results) by_time.push_back(&r);
+  std::sort(by_time.begin(), by_time.end(),
+            [](const ExperimentResult* a, const ExperimentResult* b) {
+              return a->wall_ms > b->wall_ms;
+            });
+  for (const ExperimentResult* r : by_time) {
+    os << "  " << to_string(r->status) << "  "
+       << static_cast<std::int64_t>(r->wall_ms) << " ms  " << r->name
+       << "\n";
+  }
+  os << "total " << static_cast<std::int64_t>(summary.wall_ms) << " ms\n";
+}
+
+}  // namespace fiveg::core

@@ -1,0 +1,74 @@
+// Parallel experiment runner: executes the registry across a thread pool
+// with deterministic per-experiment seed forking, so a --jobs 8 campaign is
+// byte-identical to a serial one at the same base seed. Each experiment
+// writes into its own buffer and structured result; output is emitted in
+// sorted-name order once the campaign finishes. A hung experiment is
+// abandoned at the per-experiment timeout and reported, not fatal.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.h"
+
+namespace fiveg::core {
+
+struct RunnerOptions {
+  int jobs = 1;              // <= 0 -> hardware concurrency
+  std::uint64_t seed = 42;   // base seed; each experiment gets a fork of it
+  std::string filter;        // substring match on the name; empty = all
+  bool smoke_only = false;   // only experiments with smoke() == true
+  double timeout_s = 0;      // per-experiment wall-clock cap; 0 = unlimited
+};
+
+/// Outcome of a whole campaign. `results` is sorted by experiment name,
+/// independent of completion order.
+struct RunSummary {
+  std::vector<ExperimentResult> results;
+  double wall_ms = 0;  // whole-campaign wall clock
+
+  [[nodiscard]] int count(RunStatus status) const;
+  [[nodiscard]] bool all_ok() const;
+};
+
+class Runner {
+ public:
+  /// `registry` is borrowed; null means the global instance.
+  explicit Runner(RunnerOptions opt, ExperimentRegistry* registry = nullptr);
+
+  /// Names selected by the filter/smoke options, sorted.
+  [[nodiscard]] std::vector<std::string> selected() const;
+
+  /// Runs every selected experiment across the thread pool.
+  RunSummary run() const;
+
+  /// The per-experiment seed: sim::Rng fork semantics keyed by experiment
+  /// name, so adding an experiment never perturbs the seeds of others.
+  [[nodiscard]] static std::uint64_t fork_seed(std::uint64_t base_seed,
+                                               std::string_view name);
+
+ private:
+  ExperimentResult run_one(const std::string& name) const;
+
+  RunnerOptions opt_;
+  ExperimentRegistry* registry_;
+};
+
+/// Emits the campaign's captured text output in sorted-name order, followed
+/// by a one-line status summary. Byte-identical for any --jobs value (no
+/// timing is printed here).
+void write_text(const RunSummary& summary, std::ostream& os);
+
+/// Emits the machine-readable JSON document (schema "fiveg-runall/v1").
+/// `include_timing` off drops the wall-clock fields so two runs at the same
+/// seed compare byte-identical regardless of parallelism.
+void write_json(const RunSummary& summary, std::ostream& os,
+                bool include_timing = true);
+
+/// Per-experiment wall-clock report (slowest first), for humans on stderr.
+void write_timing(const RunSummary& summary, std::ostream& os);
+
+}  // namespace fiveg::core

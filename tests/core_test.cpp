@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <sstream>
+#include <stdexcept>
 
 #include "app/iperf.h"
 #include "core/experiment.h"
@@ -49,6 +51,49 @@ TEST(RegistryTest, UnknownExperimentRejected) {
   ExperimentContext ctx;
   ctx.out = &os;
   EXPECT_FALSE(ExperimentRegistry::instance().run("nope", ctx));
+}
+
+TEST(RegistryTest, DuplicateNameRejectedAtRegistration) {
+  class Dummy final : public Experiment {
+   public:
+    std::string name() const override { return "dup_experiment"; }
+    std::string paper_ref() const override { return "n/a"; }
+    std::string description() const override { return "dup"; }
+    void run(const ExperimentContext&) override {}
+  };
+  ExperimentRegistry reg;  // local registry, not the global instance
+  reg.add([] { return std::make_unique<Dummy>(); });
+  EXPECT_THROW(reg.add([] { return std::make_unique<Dummy>(); }),
+               std::invalid_argument);
+  // The first registration survives the rejected duplicate.
+  EXPECT_NE(reg.create("dup_experiment"), nullptr);
+}
+
+TEST(RegistryTest, CreateInstantiatesByName) {
+  auto exp = ExperimentRegistry::instance().create("table1_phy_info");
+  ASSERT_NE(exp, nullptr);
+  EXPECT_EQ(exp->paper_ref(), "Table 1");
+  EXPECT_EQ(ExperimentRegistry::instance().create("nope"), nullptr);
+}
+
+TEST(ExperimentContextTest, MetricsAccumulateIntoResult) {
+  ExperimentResult res;
+  ExperimentContext ctx;
+  ctx.result = &res;
+  ctx.metric("tput", 1.5, "Mbps");
+  ctx.metric("tput", 2.5);
+  ctx.metric_point("sweep", 10, 0.1, "%");
+  ASSERT_EQ(res.metrics.size(), 2u);
+  EXPECT_EQ(res.metrics[0].name, "tput");
+  EXPECT_EQ(res.metrics[0].unit, "Mbps");
+  ASSERT_EQ(res.metrics[0].points.size(), 2u);
+  EXPECT_DOUBLE_EQ(res.metrics[0].points[0].x, 0);
+  EXPECT_DOUBLE_EQ(res.metrics[0].points[1].x, 1);
+  EXPECT_DOUBLE_EQ(res.metrics[0].points[1].y, 2.5);
+  EXPECT_DOUBLE_EQ(res.metrics[1].points[0].x, 10);
+  // A null result sink makes metric() a no-op, not a crash.
+  ExperimentContext no_sink;
+  no_sink.metric("ignored", 1.0);
 }
 
 TEST(RegistryTest, FastExperimentsProduceTables) {

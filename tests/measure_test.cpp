@@ -5,11 +5,14 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "measure/cdf.h"
 #include "measure/csv.h"
 #include "measure/histogram.h"
+#include "measure/json.h"
 #include "measure/kpi_logger.h"
 #include "measure/plot.h"
 #include "measure/stats.h"
@@ -321,6 +324,60 @@ TEST_P(CdfPropertyTest, QuantileFractionRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CdfPropertyTest, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::escape("plain"), "plain");
+  EXPECT_EQ(JsonWriter::escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonWriter::escape("line\nbreak\ttab\r"),
+            "line\\nbreak\\ttab\\r");
+  EXPECT_EQ(JsonWriter::escape(std::string_view("\x01", 1)), "\\u0001");
+  // UTF-8 payload bytes pass through.
+  EXPECT_EQ(JsonWriter::escape("±5 dBm"), "±5 dBm");
+}
+
+TEST(JsonWriterTest, NumbersAreByteStable) {
+  EXPECT_EQ(JsonWriter::number(42), "42");
+  EXPECT_EQ(JsonWriter::number(-3), "-3");
+  EXPECT_EQ(JsonWriter::number(0), "0");
+  EXPECT_EQ(JsonWriter::number(1.5), "1.5");
+  // Non-finite values have no JSON spelling; they render as null.
+  EXPECT_EQ(JsonWriter::number(std::nan("")), "null");
+  EXPECT_EQ(JsonWriter::number(HUGE_VAL), "null");
+  // Round-trip: parse the rendering back and compare.
+  const double v = 0.1 + 0.2;
+  EXPECT_EQ(std::stod(JsonWriter::number(v)), v);
+}
+
+TEST(JsonWriterTest, NestedStructureRendersExactly) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("name", "fig7");
+  w.kv("ok", true);
+  w.key("points");
+  w.begin_array();
+  w.begin_array();
+  w.value(1.5);
+  w.value(2);
+  w.end_array();
+  w.end_array();
+  w.key("empty");
+  w.begin_object();
+  w.end_object();
+  w.end_object();
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"name\": \"fig7\",\n"
+            "  \"ok\": true,\n"
+            "  \"points\": [\n"
+            "    [\n"
+            "      1.5,\n"
+            "      2\n"
+            "    ]\n"
+            "  ],\n"
+            "  \"empty\": {}\n"
+            "}");
+}
 
 }  // namespace
 }  // namespace fiveg::measure

@@ -1,0 +1,49 @@
+# ctest script: `fiveg_runall --jobs N` must be byte-identical to
+# `--jobs 1` at the same seed, for both the text output and the JSON
+# document (timing fields excluded via --no-timing).
+#
+# Invoked as:
+#   cmake -DRUNALL=<path-to-fiveg_runall> -DWORK_DIR=<dir>
+#         -P runall_determinism.cmake
+if(NOT RUNALL OR NOT WORK_DIR)
+  message(FATAL_ERROR "RUNALL and WORK_DIR must be set")
+endif()
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+set(common --smoke --seed 42 --timeout 300 --no-timing)
+
+execute_process(
+  COMMAND ${RUNALL} ${common} --jobs 1 --json ${WORK_DIR}/serial.json
+  OUTPUT_FILE ${WORK_DIR}/serial.txt
+  ERROR_VARIABLE serial_err
+  RESULT_VARIABLE serial_rc)
+if(NOT serial_rc EQUAL 0)
+  message(FATAL_ERROR "serial run failed (rc=${serial_rc}): ${serial_err}")
+endif()
+
+execute_process(
+  COMMAND ${RUNALL} ${common} --jobs 8 --json ${WORK_DIR}/parallel.json
+  OUTPUT_FILE ${WORK_DIR}/parallel.txt
+  ERROR_VARIABLE parallel_err
+  RESULT_VARIABLE parallel_rc)
+if(NOT parallel_rc EQUAL 0)
+  message(FATAL_ERROR "parallel run failed (rc=${parallel_rc}): ${parallel_err}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/serial.txt ${WORK_DIR}/parallel.txt
+  RESULT_VARIABLE text_diff)
+if(NOT text_diff EQUAL 0)
+  message(FATAL_ERROR "--jobs 8 text output differs from --jobs 1")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/serial.json ${WORK_DIR}/parallel.json
+  RESULT_VARIABLE json_diff)
+if(NOT json_diff EQUAL 0)
+  message(FATAL_ERROR "--jobs 8 JSON output differs from --jobs 1")
+endif()
+
+message(STATUS "runall determinism: text and JSON byte-identical")

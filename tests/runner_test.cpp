@@ -1,0 +1,209 @@
+// Tests for the parallel campaign runner: parallel/serial byte-identity,
+// deterministic seed forking, timeout abandonment and failure capture.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "core/runner.h"
+#include "sim/rng.h"
+
+namespace fiveg::core {
+namespace {
+
+// A deterministic synthetic experiment: draws from the forked seed, prints
+// a small table and records metrics. `index` varies the name/work.
+class FakeExperiment final : public Experiment {
+ public:
+  explicit FakeExperiment(int index) : index_(index) {}
+
+  std::string name() const override {
+    return "fake_" + std::to_string(index_);
+  }
+  std::string paper_ref() const override { return "Figure 0"; }
+  std::string description() const override { return "synthetic workload"; }
+  bool smoke() const override { return true; }
+
+  void run(const ExperimentContext& ctx) override {
+    sim::Rng rng = sim::Rng(ctx.seed).fork("fake");
+    double acc = 0;
+    for (int i = 0; i < 1000 + 100 * index_; ++i) acc += rng.uniform(0, 1);
+    *ctx.out << "fake table " << index_ << ": acc=" << acc
+             << " seed=" << ctx.seed << "\n\n";
+    ctx.metric("acc", acc, "units");
+    ctx.metric_point("sweep", index_, acc / 2);
+  }
+
+ private:
+  int index_;
+};
+
+class ThrowingExperiment final : public Experiment {
+ public:
+  std::string name() const override { return "always_throws"; }
+  std::string paper_ref() const override { return "n/a"; }
+  std::string description() const override { return "throws"; }
+  void run(const ExperimentContext&) override {
+    throw std::runtime_error("deliberate failure");
+  }
+};
+
+class HangingExperiment final : public Experiment {
+ public:
+  std::string name() const override { return "hangs"; }
+  std::string paper_ref() const override { return "n/a"; }
+  std::string description() const override { return "sleeps past timeout"; }
+  void run(const ExperimentContext&) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  }
+};
+
+ExperimentRegistry make_fake_registry(int n) {
+  ExperimentRegistry reg;
+  for (int i = 0; i < n; ++i) {
+    reg.add([i] { return std::make_unique<FakeExperiment>(i); });
+  }
+  return reg;
+}
+
+TEST(RunnerTest, ParallelIsByteIdenticalToSerial) {
+  ExperimentRegistry reg = make_fake_registry(12);
+  RunnerOptions serial;
+  serial.jobs = 1;
+  serial.seed = 42;
+  RunnerOptions parallel = serial;
+  parallel.jobs = 8;
+
+  const RunSummary a = Runner(serial, &reg).run();
+  const RunSummary b = Runner(parallel, &reg).run();
+
+  std::ostringstream text_a, text_b, json_a, json_b;
+  write_text(a, text_a);
+  write_text(b, text_b);
+  write_json(a, json_a, /*include_timing=*/false);
+  write_json(b, json_b, /*include_timing=*/false);
+  EXPECT_EQ(text_a.str(), text_b.str());
+  EXPECT_EQ(json_a.str(), json_b.str());
+  EXPECT_TRUE(a.all_ok());
+}
+
+TEST(RunnerTest, ForkSeedMatchesRngForkSemantics) {
+  EXPECT_EQ(Runner::fork_seed(42, "fig7_throughput"),
+            sim::Rng(42).fork("fig7_throughput").seed());
+  // Stable across calls, distinct across names and base seeds.
+  EXPECT_EQ(Runner::fork_seed(42, "a"), Runner::fork_seed(42, "a"));
+  EXPECT_NE(Runner::fork_seed(42, "a"), Runner::fork_seed(42, "b"));
+  EXPECT_NE(Runner::fork_seed(42, "a"), Runner::fork_seed(43, "a"));
+}
+
+TEST(RunnerTest, EachExperimentRunsOnItsOwnForkedSeed) {
+  ExperimentRegistry reg = make_fake_registry(3);
+  RunnerOptions opt;
+  opt.seed = 7;
+  const RunSummary s = Runner(opt, &reg).run();
+  ASSERT_EQ(s.results.size(), 3u);
+  for (const ExperimentResult& r : s.results) {
+    EXPECT_EQ(r.seed, Runner::fork_seed(7, r.name));
+  }
+  EXPECT_NE(s.results[0].seed, s.results[1].seed);
+}
+
+TEST(RunnerTest, ResultsAreSortedByNameAndCarryMetrics) {
+  ExperimentRegistry reg = make_fake_registry(11);
+  RunnerOptions opt;
+  opt.jobs = 4;
+  const RunSummary s = Runner(opt, &reg).run();
+  ASSERT_EQ(s.results.size(), 11u);
+  for (std::size_t i = 1; i < s.results.size(); ++i) {
+    EXPECT_LT(s.results[i - 1].name, s.results[i].name);
+  }
+  const ExperimentResult& r = s.results.front();
+  ASSERT_EQ(r.metrics.size(), 2u);
+  EXPECT_EQ(r.metrics[0].name, "acc");
+  EXPECT_EQ(r.metrics[0].unit, "units");
+  ASSERT_EQ(r.metrics[0].points.size(), 1u);
+  EXPECT_GT(r.metrics[0].points[0].y, 0);
+  EXPECT_EQ(r.metrics[1].name, "sweep");
+  EXPECT_NE(r.text.find("fake table"), std::string::npos);
+}
+
+TEST(RunnerTest, FilterSelectsSubstring) {
+  ExperimentRegistry reg = make_fake_registry(12);
+  RunnerOptions opt;
+  opt.filter = "fake_1";  // fake_1, fake_10, fake_11
+  EXPECT_EQ(Runner(opt, &reg).selected().size(), 3u);
+}
+
+TEST(RunnerTest, ThrowingExperimentIsReportedNotFatal) {
+  ExperimentRegistry reg = make_fake_registry(2);
+  reg.add([] { return std::make_unique<ThrowingExperiment>(); });
+  const RunSummary s = Runner(RunnerOptions{}, &reg).run();
+  ASSERT_EQ(s.results.size(), 3u);
+  EXPECT_EQ(s.count(RunStatus::kFailed), 1);
+  EXPECT_EQ(s.count(RunStatus::kOk), 2);
+  EXPECT_FALSE(s.all_ok());
+  EXPECT_EQ(s.results.front().name, "always_throws");
+  EXPECT_EQ(s.results.front().error, "deliberate failure");
+  std::ostringstream os;
+  write_text(s, os);
+  EXPECT_NE(os.str().find("always_throws — failed: deliberate failure"),
+            std::string::npos);
+  EXPECT_NE(os.str().find("3 experiments: 2 ok, 1 failed, 0 timed out"),
+            std::string::npos);
+}
+
+TEST(RunnerTest, HungExperimentTimesOutGracefully) {
+  ExperimentRegistry reg = make_fake_registry(1);
+  reg.add([] { return std::make_unique<HangingExperiment>(); });
+  RunnerOptions opt;
+  opt.timeout_s = 0.05;
+  const auto start = std::chrono::steady_clock::now();
+  const RunSummary s = Runner(opt, &reg).run();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_LT(elapsed, std::chrono::milliseconds(450));  // not the full sleep
+  EXPECT_EQ(s.count(RunStatus::kTimedOut), 1);
+  EXPECT_EQ(s.count(RunStatus::kOk), 1);  // the fast sibling still runs
+  const ExperimentResult* hung = nullptr;
+  for (const ExperimentResult& r : s.results) {
+    if (r.name == "hangs") hung = &r;
+  }
+  ASSERT_NE(hung, nullptr);
+  EXPECT_EQ(hung->status, RunStatus::kTimedOut);
+  EXPECT_NE(hung->error.find("timeout"), std::string::npos);
+  // Give the abandoned thread time to drain before the test exits.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+}
+
+TEST(RunnerTest, SmokeTierOfRealRegistryIsNonEmpty) {
+  RunnerOptions opt;
+  opt.smoke_only = true;
+  const Runner runner(opt);  // global registry
+  const auto smoke = runner.selected();
+  EXPECT_GE(smoke.size(), 5u);
+  // The smoke tier is a strict subset of the full registry.
+  RunnerOptions all;
+  EXPECT_LT(smoke.size(), Runner(all).selected().size());
+}
+
+TEST(RunnerTest, JsonOutputIsWellFormedScaffold) {
+  ExperimentRegistry reg = make_fake_registry(2);
+  const RunSummary s = Runner(RunnerOptions{}, &reg).run();
+  std::ostringstream os;
+  write_json(s, os, /*include_timing=*/true);
+  const std::string j = os.str();
+  EXPECT_NE(j.find("\"schema\": \"fiveg-runall/v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"experiments\""), std::string::npos);
+  EXPECT_NE(j.find("\"wall_ms\""), std::string::npos);
+  EXPECT_NE(j.find("\"summary\""), std::string::npos);
+  // Timing off really drops the non-deterministic fields.
+  std::ostringstream os2;
+  write_json(s, os2, /*include_timing=*/false);
+  EXPECT_EQ(os2.str().find("wall_ms"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fiveg::core

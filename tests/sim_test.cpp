@@ -2,6 +2,7 @@
 // determinism of the clock, and the RNG substream contract.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -177,6 +178,47 @@ TEST(RngTest, ForksWithDifferentNamesAreIndependent) {
   int same = 0;
   for (int i = 0; i < 64; ++i) same += (x.next_u64() == y.next_u64());
   EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, ForkSubstreamsAreUncorrelated) {
+  // Direct independence check: paired uniforms from two named substreams
+  // of the same parent show no linear correlation.
+  Rng parent(42);
+  Rng x = parent.fork("substream-a");
+  Rng y = parent.fork("substream-b");
+  const int n = 4000;
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (int i = 0; i < n; ++i) {
+    const double u = x.uniform(0, 1), v = y.uniform(0, 1);
+    sx += u;
+    sy += v;
+    sxx += u * u;
+    syy += v * v;
+    sxy += u * v;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double var_x = sxx / n - (sx / n) * (sx / n);
+  const double var_y = syy / n - (sy / n) * (sy / n);
+  const double corr = cov / std::sqrt(var_x * var_y);
+  EXPECT_LT(std::fabs(corr), 0.05);
+  // Both streams are individually well-behaved uniforms.
+  EXPECT_NEAR(sx / n, 0.5, 0.03);
+  EXPECT_NEAR(sy / n, 0.5, 0.03);
+}
+
+TEST(RngTest, NestedForksDependOnFullPath) {
+  // fork("a").fork("b") and fork("b").fork("a") are distinct streams: the
+  // derivation is path-dependent, not an order-insensitive xor of names.
+  Rng parent(7);
+  Rng ab = parent.fork("a").fork("b");
+  Rng ba = parent.fork("b").fork("a");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (ab.next_u64() == ba.next_u64());
+  EXPECT_LT(same, 4);
+  // And a nested fork re-derived from scratch is bit-identical.
+  Rng again = Rng(7).fork("a").fork("b");
+  Rng ab2 = Rng(7).fork("a").fork("b");
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(again.next_u64(), ab2.next_u64());
 }
 
 TEST(RngTest, UniformInRange) {

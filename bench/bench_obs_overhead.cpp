@@ -1,0 +1,56 @@
+// Guard-rail benchmark for the observability layer: measures raw
+// Simulator::run event throughput with no tracer/metrics installed (the
+// disabled path every experiment takes by default). The numbers are
+// committed as BENCH_obs.json; the acceptance bar is <2% regression versus
+// the pre-obs baseline recorded there.
+//
+// Prints a small JSON document on stdout so the driver can diff runs:
+//   {"events": ..., "reps": ..., "events_per_sec_median": ...}
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// One rep: a self-rescheduling event chain plus a fan of one-shot timers,
+// roughly the schedule/pop mix of a TCP experiment's hot loop.
+double events_per_sec(std::uint64_t chain_events) {
+  fiveg::sim::Simulator simr;
+  std::uint64_t fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < chain_events) {
+      simr.schedule_in(fiveg::sim::kMicrosecond, chain);
+    }
+  };
+  simr.schedule_in(0, chain);
+  for (int i = 0; i < 1024; ++i) {
+    simr.schedule_in((i + 1) * fiveg::sim::kMillisecond, [&] { ++fired; });
+  }
+  const auto start = Clock::now();
+  simr.run();
+  const double secs =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return static_cast<double>(simr.executed_events()) / secs;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kEvents = 2'000'000;
+  constexpr int kReps = 7;
+  std::vector<double> rates;
+  rates.reserve(kReps);
+  for (int r = 0; r < kReps; ++r) rates.push_back(events_per_sec(kEvents));
+  std::sort(rates.begin(), rates.end());
+  std::printf(
+      "{\"events\": %llu, \"reps\": %d, \"events_per_sec_median\": %.0f}\n",
+      static_cast<unsigned long long>(kEvents), kReps, rates[kReps / 2]);
+  return 0;
+}

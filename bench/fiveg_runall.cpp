@@ -30,7 +30,15 @@ options:
                 (default 600); a hung experiment is reported, not fatal
   --json PATH   also write machine-readable results to PATH ('-' = stdout,
                 which suppresses the text tables)
-  --no-timing   omit wall-clock fields from the JSON (byte-stable output)
+  --trace PATH  write a merged Chrome trace_event JSON document to PATH
+                (load in chrome://tracing or ui.perfetto.dev); one process
+                per experiment, one thread per layer (sim/ran/tcp/net/energy)
+  --trace-capacity N
+                per-experiment trace ring capacity in events
+                (default 262144; oldest events drop first)
+  --metrics     print each experiment's counters/profile to stderr
+  --no-timing   omit wall-clock fields from the JSON and the trace
+                (byte-stable output)
   --quiet       suppress the text tables on stdout
   --list        list the selected experiment names and exit
   -h, --help    this message
@@ -62,6 +70,8 @@ int main(int argc, char** argv) {
   opt.jobs = 0;  // hardware concurrency
   opt.timeout_s = 600;
   std::string json_path;
+  std::string trace_path;
+  bool print_metrics = false;
   bool include_timing = true;
   bool quiet = false;
   bool list_only = false;
@@ -98,6 +108,18 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--json") {
       json_path = need_value();
+    } else if (arg == "--trace") {
+      trace_path = need_value();
+      opt.trace = true;
+    } else if (arg == "--trace-capacity") {
+      std::uint64_t cap = 0;
+      if (!parse_u64(need_value(), &cap) || cap == 0) {
+        std::cerr << "bad --trace-capacity value\n";
+        return 2;
+      }
+      opt.trace_capacity = static_cast<std::size_t>(cap);
+    } else if (arg == "--metrics") {
+      print_metrics = true;
     } else if (arg == "--no-timing") {
       include_timing = false;
     } else if (arg == "--quiet") {
@@ -139,6 +161,17 @@ int main(int argc, char** argv) {
       fiveg::core::write_json(summary, f, include_timing);
     }
     if (!quiet) fiveg::core::write_text(summary, std::cout);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream f(trace_path);
+    if (!f) {
+      std::cerr << "cannot open " << trace_path << " for writing\n";
+      return 2;
+    }
+    fiveg::core::write_chrome_trace(summary, f, include_timing);
+  }
+  if (print_metrics) {
+    fiveg::core::write_metrics(summary, std::cerr, include_timing);
   }
   fiveg::core::write_timing(summary, std::cerr);
   return summary.all_ok() ? 0 : 1;

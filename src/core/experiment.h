@@ -13,6 +13,12 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+
+namespace fiveg::obs {
+class Tracer;
+}  // namespace fiveg::obs
+
 namespace fiveg::core {
 
 /// Terminal state of one experiment run.
@@ -50,6 +56,14 @@ struct ExperimentResult {
   double wall_ms = 0;      // wall-clock, excluded from determinism checks
   std::string text;        // the captured text-table output
   std::vector<MetricSeries> metrics;
+  // Observability capture (see src/obs/). `counters` holds the kSim-clock
+  // snapshot: deterministic, part of the fiveg-runall/v2 document.
+  // `profile` holds the kWall-clock snapshot: wall-clock profiling data,
+  // emitted only when timing is on (like wall_ms). `trace` is the
+  // experiment's event trace, non-null only when tracing was requested.
+  std::vector<obs::MetricSnapshot> counters;
+  std::vector<obs::MetricSnapshot> profile;
+  std::shared_ptr<obs::Tracer> trace;
 };
 
 /// Everything an experiment run needs.

@@ -344,6 +344,38 @@ class Table3Experiment final : public Experiment {
   }
 };
 
+// Smoke-tier slice of Fig. 7b: one short Cubic bulk transfer over the 5G
+// day testbed. Keeps the CI smoke campaign exercising the full transport
+// stack (tcp + net + ran layers show up in --trace output) without the
+// minutes-long sweep of the full Fig. 7 grid.
+class TcpSmokeExperiment final : public Experiment {
+ public:
+  std::string name() const override { return "smoke_tcp_bulk"; }
+  std::string paper_ref() const override { return "Figure 7 (slice)"; }
+  std::string description() const override {
+    return "short Cubic bulk transfer on 5G day: transport-stack smoke run";
+  }
+  bool smoke() const override { return true; }
+
+  void run(const ExperimentContext& ctx) override {
+    constexpr sim::Time kDuration = 3 * kSecond;
+    sim::Simulator simr;
+    TestbedOptions opt;  // 5G day defaults
+    Testbed bed(&simr, opt, ctx.seed);
+    bed.start_cross_traffic(kDuration + kSecond);
+    tcp::TcpConfig cfg;
+    cfg.algo = tcp::CcAlgo::kCubic;
+    app::TcpSession session(&simr, &bed.path(), &bed.fanout(), cfg);
+    session.sender().start_bulk();
+    simr.run_until(kDuration);
+    const double goodput =
+        session.receiver().mean_goodput_bps(kSecond, kDuration);
+    *ctx.out << "Cubic on 5G day, 3 s bulk: "
+             << TextTable::num(goodput / 1e6, 0) << " Mbps steady goodput\n\n";
+    ctx.metric("goodput_cubic_5g", goodput / 1e6, "Mbps");
+  }
+};
+
 }  // namespace
 
 void register_throughput_experiments() {
@@ -352,6 +384,7 @@ void register_throughput_experiments() {
   register_experiment<Fig9Experiment>();
   register_experiment<Fig11Experiment>();
   register_experiment<Table3Experiment>();
+  register_experiment<TcpSmokeExperiment>();
 }
 
 }  // namespace fiveg::core

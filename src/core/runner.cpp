@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "measure/json.h"
+#include "obs/chrome_trace.h"
+#include "obs/obs.h"
 #include "sim/rng.h"
 
 namespace fiveg::core {
@@ -36,8 +38,33 @@ struct ExecState {
   bool done = false;
 };
 
-// Runs the experiment body, capturing text, metrics and exceptions.
-void execute(Experiment& exp, std::uint64_t seed, ExecState& state) {
+// Observability settings copied out of RunnerOptions: the experiment may
+// run on a detached thread that outlives the Runner, so it must not hold a
+// reference back into it.
+struct ExecOptions {
+  bool collect_metrics = true;
+  bool trace = false;
+  std::size_t trace_capacity = 0;
+};
+
+// Runs the experiment body, capturing text, metrics and exceptions. The
+// obs scope is installed here — on the thread the body actually runs on —
+// so every Simulator and protocol object the experiment builds picks up
+// this experiment's private registry/tracer.
+void execute(Experiment& exp, std::uint64_t seed, ExecState& state,
+             ExecOptions obs_opt) {
+  std::unique_ptr<obs::MetricsRegistry> registry;
+  std::shared_ptr<obs::Tracer> tracer;
+  if (obs_opt.collect_metrics) {
+    registry = std::make_unique<obs::MetricsRegistry>();
+  }
+  if (obs_opt.trace) {
+    tracer = std::make_shared<obs::Tracer>(
+        obs_opt.trace_capacity != 0 ? obs_opt.trace_capacity
+                                    : obs::Tracer::kDefaultCapacity);
+  }
+  const obs::ScopedObs scope(tracer.get(), registry.get());
+
   ExperimentContext ctx;
   ctx.seed = seed;
   ctx.out = &state.out;
@@ -53,6 +80,11 @@ void execute(Experiment& exp, std::uint64_t seed, ExecState& state) {
     state.result.status = RunStatus::kFailed;
     state.result.error = "unknown exception";
   }
+  if (registry != nullptr) {
+    state.result.counters = registry->snapshot(obs::MetricClock::kSim);
+    state.result.profile = registry->snapshot(obs::MetricClock::kWall);
+  }
+  state.result.trace = std::move(tracer);
 }
 
 }  // namespace
@@ -99,9 +131,11 @@ ExperimentResult Runner::run_one(const std::string& name) const {
   res.description = exp->description();
   res.seed = fork_seed(opt_.seed, name);
 
+  const ExecOptions obs_opt{opt_.collect_metrics, opt_.trace,
+                            opt_.trace_capacity};
   const auto start = Clock::now();
   if (opt_.timeout_s <= 0) {
-    execute(*exp, res.seed, *state);
+    execute(*exp, res.seed, *state, obs_opt);
     res.wall_ms = ms_since(start);
     res.text = state->out.str();
     return std::move(res);
@@ -111,8 +145,8 @@ ExperimentResult Runner::run_one(const std::string& name) const {
   // owns the experiment and a reference to the shared state; after a
   // timeout nobody reads that state again.
   std::shared_ptr<Experiment> owned = std::move(exp);
-  std::thread worker([owned, state, seed = res.seed] {
-    execute(*owned, seed, *state);
+  std::thread worker([owned, state, seed = res.seed, obs_opt] {
+    execute(*owned, seed, *state, obs_opt);
     const std::lock_guard<std::mutex> lock(state->mu);
     state->done = true;
     state->cv.notify_all();
@@ -199,11 +233,43 @@ void write_text(const RunSummary& summary, std::ostream& os) {
      << summary.count(RunStatus::kTimedOut) << " timed out\n";
 }
 
+namespace {
+
+// Expands one metric snapshot vector into a flat JSON object. Snapshots
+// arrive sorted by (name, kind), so the member order is deterministic.
+void write_snapshot_object(measure::JsonWriter& w,
+                           const std::vector<obs::MetricSnapshot>& snaps) {
+  w.begin_object();
+  for (const obs::MetricSnapshot& s : snaps) {
+    switch (s.kind) {
+      case obs::MetricSnapshot::Kind::kCounter:
+        w.kv(s.name, static_cast<std::uint64_t>(s.value));
+        break;
+      case obs::MetricSnapshot::Kind::kGauge:
+        w.kv(s.name, s.value);
+        w.kv(s.name + ".max", s.max);
+        break;
+      case obs::MetricSnapshot::Kind::kHistogram:
+        w.kv(s.name + ".count", s.count);
+        w.kv(s.name + ".sum", s.sum);
+        w.kv(s.name + ".min", s.min);
+        w.kv(s.name + ".max", s.max);
+        w.kv(s.name + ".mean", s.value);
+        w.kv(s.name + ".p50", s.p50);
+        w.kv(s.name + ".p99", s.p99);
+        break;
+    }
+  }
+  w.end_object();
+}
+
+}  // namespace
+
 void write_json(const RunSummary& summary, std::ostream& os,
                 bool include_timing) {
   measure::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema", "fiveg-runall/v1");
+  w.kv("schema", "fiveg-runall/v2");
   w.key("experiments");
   w.begin_array();
   for (const ExperimentResult& r : summary.results) {
@@ -233,6 +299,12 @@ void write_json(const RunSummary& summary, std::ostream& os,
       w.end_object();
     }
     w.end_array();
+    w.key("counters");
+    write_snapshot_object(w, r.counters);
+    if (include_timing && !r.profile.empty()) {
+      w.key("profile");
+      write_snapshot_object(w, r.profile);
+    }
     w.kv("text", r.text);
     w.end_object();
   }
@@ -263,6 +335,67 @@ void write_timing(const RunSummary& summary, std::ostream& os) {
        << "\n";
   }
   os << "total " << static_cast<std::int64_t>(summary.wall_ms) << " ms\n";
+}
+
+namespace {
+
+void write_snapshot_lines(const std::vector<obs::MetricSnapshot>& snaps,
+                          std::ostream& os) {
+  for (const obs::MetricSnapshot& s : snaps) {
+    os << "    " << s.name;
+    switch (s.kind) {
+      case obs::MetricSnapshot::Kind::kCounter:
+        os << " = " << measure::JsonWriter::number(s.value);
+        break;
+      case obs::MetricSnapshot::Kind::kGauge:
+        os << " = " << measure::JsonWriter::number(s.value)
+           << " (max " << measure::JsonWriter::number(s.max) << ")";
+        break;
+      case obs::MetricSnapshot::Kind::kHistogram:
+        os << ": count=" << s.count << " mean="
+           << measure::JsonWriter::number(s.value)
+           << " p50=" << measure::JsonWriter::number(s.p50)
+           << " p99=" << measure::JsonWriter::number(s.p99)
+           << " max=" << measure::JsonWriter::number(s.max);
+        break;
+    }
+    os << "\n";
+  }
+}
+
+}  // namespace
+
+void write_metrics(const RunSummary& summary, std::ostream& os,
+                   bool include_timing) {
+  for (const ExperimentResult& r : summary.results) {
+    if (r.counters.empty() && (!include_timing || r.profile.empty())) {
+      continue;
+    }
+    os << "### " << r.name << "\n";
+    write_snapshot_lines(r.counters, os);
+    if (include_timing && !r.profile.empty()) {
+      os << "  profile (wall clock):\n";
+      write_snapshot_lines(r.profile, os);
+    }
+    os << "\n";
+  }
+}
+
+void write_chrome_trace(const RunSummary& summary, std::ostream& os,
+                        bool include_wall) {
+  std::vector<obs::ChromeProcess> processes;
+  processes.reserve(summary.results.size());
+  for (const ExperimentResult& r : summary.results) {
+    if (r.trace == nullptr) continue;
+    obs::ChromeProcess p;
+    p.name = r.name;
+    p.tracer = r.trace.get();
+    p.wall_ms = r.wall_ms;
+    processes.push_back(std::move(p));
+  }
+  obs::ChromeTraceOptions options;
+  options.include_wall = include_wall;
+  obs::write_chrome_trace(processes, os, options);
 }
 
 }  // namespace fiveg::core

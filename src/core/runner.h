@@ -22,6 +22,12 @@ struct RunnerOptions {
   std::string filter;        // substring match on the name; empty = all
   bool smoke_only = false;   // only experiments with smoke() == true
   double timeout_s = 0;      // per-experiment wall-clock cap; 0 = unlimited
+  // Observability: each experiment runs under its own obs::Scope. Metrics
+  // fill ExperimentResult::counters/profile; tracing additionally buffers
+  // an event trace per experiment (ExperimentResult::trace).
+  bool collect_metrics = true;
+  bool trace = false;
+  std::size_t trace_capacity = 0;  // events per experiment; 0 = default
 };
 
 /// Outcome of a whole campaign. `results` is sorted by experiment name,
@@ -62,13 +68,27 @@ class Runner {
 /// timing is printed here).
 void write_text(const RunSummary& summary, std::ostream& os);
 
-/// Emits the machine-readable JSON document (schema "fiveg-runall/v1").
-/// `include_timing` off drops the wall-clock fields so two runs at the same
-/// seed compare byte-identical regardless of parallelism.
+/// Emits the machine-readable JSON document (schema "fiveg-runall/v2").
+/// Each experiment carries a flat `counters` object (deterministic kSim
+/// metrics) and, when `include_timing` is on, a `profile` object (kWall
+/// metrics). `include_timing` off drops every wall-clock field so two runs
+/// at the same seed compare byte-identical regardless of parallelism.
 void write_json(const RunSummary& summary, std::ostream& os,
                 bool include_timing = true);
 
 /// Per-experiment wall-clock report (slowest first), for humans on stderr.
 void write_timing(const RunSummary& summary, std::ostream& os);
+
+/// Human-readable per-experiment metrics report (the --metrics flag):
+/// deterministic counters always, kWall profiling when `include_timing`.
+void write_metrics(const RunSummary& summary, std::ostream& os,
+                   bool include_timing = true);
+
+/// Merges every experiment's trace into one Chrome trace_event JSON
+/// document: one "process" per experiment (sorted order), one "thread" per
+/// layer category. `include_wall` off drops wall-clock side data so traces
+/// diff clean across --jobs values.
+void write_chrome_trace(const RunSummary& summary, std::ostream& os,
+                        bool include_wall = true);
 
 }  // namespace fiveg::core

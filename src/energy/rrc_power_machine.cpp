@@ -1,13 +1,43 @@
 #include "energy/rrc_power_machine.h"
 
 #include <algorithm>
+#include <cstdint>
 
+#include "obs/obs.h"
 #include "ran/drx.h"
 
 namespace fiveg::energy {
 namespace {
 
 enum class Phase { kIdle, kPromoting, kConnected };
+
+const char* phase_name(Phase p) noexcept {
+  switch (p) {
+    case Phase::kIdle:
+      return "energy.rrc.idle";
+    case Phase::kPromoting:
+      return "energy.rrc.promoting";
+    case Phase::kConnected:
+      return "energy.rrc.connected";
+  }
+  return "energy.rrc.unknown";
+}
+
+const char* activity_name(ran::RadioActivity a) noexcept {
+  switch (a) {
+    case ran::RadioActivity::kTransfer:
+      return "transfer";
+    case ran::RadioActivity::kTailAwake:
+      return "tail_awake";
+    case ran::RadioActivity::kTailSleep:
+      return "tail_sleep";
+    case ran::RadioActivity::kPagingAwake:
+      return "paging_awake";
+    case ran::RadioActivity::kPagingSleep:
+      return "paging_sleep";
+  }
+  return "unknown";
+}
 
 }  // namespace
 
@@ -36,6 +66,36 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
   double sample_acc_mw = 0.0;
   int sample_count = 0;
   sim::Time next_sample = config_.sample_period;
+
+  // Observability: RRC phases become spans on the "energy" track, DRX
+  // activity changes become instants, and per-phase residency feeds the
+  // metrics registry. The replay itself is a fixed-step loop outside the
+  // Simulator, so timestamps here are the loop's own simulated clock.
+  obs::Tracer* tracer = obs::tracer();
+  obs::MetricsRegistry* reg = obs::metrics();
+  sim::Time residency_idle = 0;
+  sim::Time residency_promoting = 0;
+  sim::Time residency_connected = 0;
+  std::uint64_t drx_transitions = 0;
+  Phase span_phase = phase;
+  ran::RadioActivity last_drx = ran::RadioActivity::kPagingSleep;
+  bool have_drx = false;
+  if (tracer != nullptr) {
+    tracer->begin(0, phase_name(span_phase), "energy");
+  }
+  const auto note_activity = [&](sim::Time t, ran::RadioActivity a) {
+    if (have_drx && a == last_drx) return;
+    if (have_drx) {
+      ++drx_transitions;
+      if (tracer != nullptr) {
+        tracer->instant(t, "energy.drx_transition", "energy",
+                        {{"from", activity_name(last_drx)},
+                         {"to", activity_name(a)}});
+      }
+    }
+    last_drx = a;
+    have_drx = true;
+  };
 
   const sim::Time trace_end = trace.back().at;
   // Upper bound: everything served at LTE rate + promotion + full tail.
@@ -90,16 +150,36 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
       }
     }
 
+    if (phase != span_phase) {
+      if (tracer != nullptr) {
+        tracer->end(t, phase_name(span_phase), "energy");
+        tracer->begin(t, phase_name(phase), "energy",
+                      {{"rat", rat == ServingRat::kNr ? "nr" : "lte"}});
+      }
+      span_phase = phase;
+    }
+    if (phase == Phase::kIdle) {
+      residency_idle += dt;
+    } else if (phase == Phase::kPromoting) {
+      residency_promoting += dt;
+    } else {
+      residency_connected += dt;
+    }
+
     // --- Serve and compute draw ---
     const RadioPower& active_power =
         rat == ServingRat::kNr ? config_.nr_power : config_.lte_power;
     double draw_mw = 0.0;
     switch (phase) {
-      case Phase::kIdle:
+      case Phase::kIdle: {
+        const ran::RadioActivity activity =
+            ran::idle_activity(config_.lte_drx, t - idle_since);
+        note_activity(t, activity);
         draw_mw = radio_draw_mw(
             config_.lte_power,  // NSA camps idle on LTE paging
-            ran::idle_activity(config_.lte_drx, t - idle_since), 0.0);
+            activity, 0.0);
         break;
+      }
       case Phase::kPromoting:
         draw_mw = active_power.promotion_mw;
         break;
@@ -112,6 +192,7 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
               std::min(backlog_bytes, rate_bps / 8.0 * sim::to_seconds(dt));
           backlog_bytes -= served;
           result.served_bits += 8.0 * served;
+          note_activity(t, ran::RadioActivity::kTransfer);
           draw_mw = active_power.active_mw(rate_bps / 1e6);
           last_activity = t + dt;
           if (backlog_bytes <= 0.0 && all_arrived) result.completion = t + dt;
@@ -130,11 +211,13 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
             const ran::RadioActivity activity =
                 oracle ? ran::RadioActivity::kTailSleep
                        : ran::connected_activity(config_.nr_drx, since);
+            note_activity(t, activity);
             draw_mw = radio_draw_mw(p, activity, 0.0);
           } else {
             const ran::RadioActivity activity =
                 oracle ? ran::RadioActivity::kTailSleep
                        : ran::connected_activity(config_.lte_drx, since);
+            note_activity(t, activity);
             draw_mw = radio_draw_mw(config_.lte_power, activity, 0.0);
           }
         }
@@ -146,7 +229,11 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
     sample_acc_mw += draw_mw;
     ++sample_count;
     if (t >= next_sample) {
-      result.power_trace_mw.add(t, sample_acc_mw / sample_count);
+      const double mean_mw = sample_acc_mw / sample_count;
+      result.power_trace_mw.add(t, mean_mw);
+      if (tracer != nullptr) {
+        tracer->counter(t, "energy.draw_mw", "energy", mean_mw);
+      }
       sample_acc_mw = 0.0;
       sample_count = 0;
       next_sample += config_.sample_period;
@@ -158,6 +245,22 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
       break;
     }
     result.duration = t;
+  }
+
+  if (tracer != nullptr) {
+    tracer->end(result.duration, phase_name(span_phase), "energy");
+  }
+  if (reg != nullptr) {
+    const auto ms = [](sim::Time t) {
+      return static_cast<std::uint64_t>(t / sim::kMillisecond);
+    };
+    reg->counter("energy.replays").add();
+    reg->counter("energy.rrc_residency_ms.idle").add(ms(residency_idle));
+    reg->counter("energy.rrc_residency_ms.promoting")
+        .add(ms(residency_promoting));
+    reg->counter("energy.rrc_residency_ms.connected")
+        .add(ms(residency_connected));
+    reg->counter("energy.drx_transitions").add(drx_transitions);
   }
 
   result.radio_joules = joules;

@@ -28,8 +28,21 @@ class KpiLogger {
   /// Appends a signalling event.
   void log_event(sim::Time at, std::string type, std::string detail = {});
 
-  /// Series for one KPI; an empty static series if never logged.
+  /// Series for one KPI.
+  ///
+  /// Footgun to be aware of: a KPI that was never logged returns a
+  /// reference to a single shared immutable empty series, NOT a slot in
+  /// this logger — so `&logger.series("typo") == &other.series("typo")`,
+  /// and the reference stays valid after the logger dies. Never cast away
+  /// const on the result; use has() to distinguish "never logged" from
+  /// "logged but empty". New instrumentation should prefer the obs layer
+  /// (obs::metrics()/obs::tracer()) over growing this logger.
   [[nodiscard]] const TimeSeries& series(const std::string& kpi) const;
+
+  /// True iff `kpi` has at least one logged observation.
+  [[nodiscard]] bool has(const std::string& kpi) const {
+    return series_.find(kpi) != series_.end();
+  }
 
   [[nodiscard]] const std::vector<SignalingEvent>& events() const noexcept {
     return events_;

@@ -1,7 +1,10 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "obs/obs.h"
 
 namespace fiveg::net {
 namespace {
@@ -23,6 +26,23 @@ Link::Link(sim::Simulator* simulator, Config config, PacketSink* sink)
     ccfg.capacity_bytes = config_.queue_bytes;
     codel_ = std::make_unique<CoDelQueue>(ccfg);
   }
+  tracer_ = obs::tracer();
+  if (auto* m = obs::metrics()) {
+    drops_ctr_ = &m->counter("net.queue.drops." + config_.name);
+    queue_hwm_ = &m->gauge("net.queue.hwm_bytes." + config_.name);
+    if (!codel_) {
+      sojourn_ms_ = &m->histogram("net.queue.sojourn_ms." + config_.name);
+    }
+  }
+}
+
+void Link::record_drop(std::uint64_t n) {
+  if (n == 0) return;
+  if (drops_ctr_ != nullptr) drops_ctr_->add(n);
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim_->now(), "net.queue_drop", "net",
+                     {{"link", config_.name}, {"count", std::to_string(n)}});
+  }
 }
 
 double Link::current_rate_bps() const {
@@ -32,7 +52,14 @@ double Link::current_rate_bps() const {
 void Link::send(Packet p) {
   const bool accepted = codel_ ? codel_->push(std::move(p), sim_->now())
                                : queue_.push(std::move(p));
-  if (!accepted) return;  // dropped on entry
+  if (!accepted) {  // dropped on entry
+    record_drop(1);
+    return;
+  }
+  if (queue_hwm_ != nullptr) {
+    queue_hwm_->update_max(static_cast<double>(queue_bytes()));
+  }
+  if (sojourn_ms_ != nullptr && !codel_) enqueue_at_.push_back(sim_->now());
   if (!transmitting_) try_transmit();
 }
 
@@ -45,18 +72,22 @@ void Link::try_transmit() {
   transmitting_ = true;
   if (config_.blocked_fn && config_.blocked_fn()) {
     // Outage: head-of-line blocks; queue keeps absorbing arrivals.
-    sim_->schedule_in(kBlockedRetry, [this] { try_transmit(); });
+    sim_->schedule_in(kBlockedRetry, "net.link_blocked_poll",
+                      [this] { try_transmit(); });
     return;
   }
   const double rate = current_rate_bps();
   if (rate <= 0.0) {
-    sim_->schedule_in(kBlockedRetry, [this] { try_transmit(); });
+    sim_->schedule_in(kBlockedRetry, "net.link_blocked_poll",
+                      [this] { try_transmit(); });
     return;
   }
   Packet p;
   if (codel_) {
     // CoDel may shed its whole backlog while dequeuing.
+    const std::uint64_t drops_before = codel_->drops();
     auto popped = codel_->pop(sim_->now());
+    record_drop(codel_->drops() - drops_before);
     if (!popped) {
       transmitting_ = false;
       return;
@@ -64,11 +95,16 @@ void Link::try_transmit() {
     p = std::move(*popped);
   } else {
     p = queue_.pop();
+    if (sojourn_ms_ != nullptr && !enqueue_at_.empty()) {
+      sojourn_ms_->observe(sim::to_millis(sim_->now() - enqueue_at_.front()));
+      enqueue_at_.pop_front();
+    }
   }
   const double bits = 8.0 * static_cast<double>(p.size_bytes);
   const auto tx_time = static_cast<sim::Time>(
       bits / rate * static_cast<double>(sim::kSecond));
-  sim_->schedule_in(tx_time, [this, p = std::move(p)]() mutable {
+  sim_->schedule_in(tx_time, "net.link_tx",
+                    [this, p = std::move(p)]() mutable {
     finish_transmit(std::move(p));
   });
 }
@@ -83,7 +119,8 @@ void Link::finish_transmit(Packet p) {
     // followers too, exactly like an RLC reordering buffer would.
     const sim::Time at = std::max(sim_->now() + delay, last_delivery_at_);
     last_delivery_at_ = at;
-    sim_->schedule_at(at, [this, p = std::move(p)]() mutable {
+    sim_->schedule_at(at, "net.link_deliver",
+                      [this, p = std::move(p)]() mutable {
       if (sink_ != nullptr) sink_->deliver(std::move(p));
     });
   }

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -67,6 +68,7 @@ class Link {
  private:
   void try_transmit();
   void finish_transmit(Packet p);
+  void record_drop(std::uint64_t n);
 
   sim::Simulator* sim_;
   Config config_;
@@ -74,6 +76,16 @@ class Link {
   DropTailQueue queue_;               // used unless config_.use_codel
   std::unique_ptr<CoDelQueue> codel_;  // CoDel variant (AQM ablation)
   bool transmitting_ = false;
+
+  // Observability handles, resolved once at construction (null without a
+  // scope). Sojourn is only tracked for the drop-tail queue, whose strict
+  // FIFO order lets `enqueue_at_` mirror it exactly; CoDel sheds from the
+  // middle of its backlog and keeps its own sojourn estimate.
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* drops_ctr_ = nullptr;
+  obs::Histogram* sojourn_ms_ = nullptr;
+  obs::Gauge* queue_hwm_ = nullptr;
+  std::deque<sim::Time> enqueue_at_;
   // Deliveries never reorder (RLC-style in-order delivery): a packet held
   // up by HARQ also holds back its successors.
   sim::Time last_delivery_at_ = 0;

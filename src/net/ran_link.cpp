@@ -1,6 +1,9 @@
 #include "net/ran_link.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/obs.h"
 
 namespace fiveg::net {
 
@@ -39,22 +42,42 @@ Link::Config make_ran_link_config(const RanLinkOptions& options,
   auto harq = std::make_shared<ran::HarqProcess>(harq_cfg);
   auto shared_rng = std::make_shared<sim::Rng>(rng);
   const sim::Time jitter_span = slot_jitter_span(options.rat);
-  cfg.extra_delay_fn = [harq, shared_rng,
-                        jitter_span](const Packet& p) -> sim::Time {
+  // Capture observability handles once, at config time: metric handles are
+  // stable for the registry's lifetime, so the per-packet path below never
+  // does a name lookup.
+  obs::Tracer* tracer = obs::tracer();
+  obs::Histogram* attempts_h = nullptr;
+  obs::Counter* retx_blocks = nullptr;
+  if (auto* m = obs::metrics()) {
+    attempts_h = &m->histogram("ran.harq.attempts");
+    retx_blocks = &m->counter("ran.harq.retx_blocks");
+  }
+  const char* rat_name = options.rat == radio::Rat::kNr ? "nr" : "lte";
+  cfg.extra_delay_fn = [harq, shared_rng, jitter_span, tracer, attempts_h,
+                        retx_blocks, rat_name](const Packet& p) -> sim::Time {
     // Slot-alignment wait (uniform over the pattern span).
     sim::Time extra = shared_rng->uniform_int(0, jitter_span);
     const double size_scale = std::min(1.0, p.size_bytes / 1500.0);
     // Thin the first-attempt failure by packet size; retransmission
     // dynamics beyond that follow the configured ladder.
+    int attempts = 1;
     if (shared_rng->bernoulli(harq->config().first_bler * size_scale)) {
       // Already failed once; count the remaining attempts.
-      int attempts = 2;
+      attempts = 2;
       while (attempts < harq->config().max_attempts &&
              shared_rng->bernoulli(harq->config().subsequent_bler)) {
         ++attempts;
       }
       extra += harq->latency_for(attempts);
+      if (retx_blocks != nullptr) retx_blocks->add();
+      if (tracer != nullptr) {
+        tracer->instant(tracer->clock_now(), "ran.harq_retx", "ran",
+                        {{"rat", rat_name},
+                         {"attempts", std::to_string(attempts)},
+                         {"size_bytes", std::to_string(p.size_bytes)}});
+      }
     }
+    if (attempts_h != nullptr) attempts_h->observe(attempts);
     return extra;
   };
   return cfg;

@@ -1,0 +1,126 @@
+#include "obs/chrome_trace.h"
+
+#include <map>
+#include <ostream>
+
+#include "measure/json.h"
+
+namespace fiveg::obs {
+
+namespace {
+
+using measure::JsonWriter;
+
+// Simulated nanoseconds -> trace-viewer microseconds.
+double to_trace_ts(sim::Time at) { return static_cast<double>(at) / 1000.0; }
+
+const char* phase_str(TraceEvent::Phase phase) {
+  switch (phase) {
+    case TraceEvent::Phase::kBegin:
+      return "B";
+    case TraceEvent::Phase::kEnd:
+      return "E";
+    case TraceEvent::Phase::kInstant:
+      return "i";
+    case TraceEvent::Phase::kCounter:
+      return "C";
+  }
+  return "i";
+}
+
+void write_metadata(JsonWriter& w, const char* what, int pid, int tid,
+                    std::string_view value) {
+  w.begin_object();
+  w.kv("name", what);
+  w.kv("ph", "M");
+  w.kv("pid", pid);
+  w.kv("tid", tid);
+  w.key("args");
+  w.begin_object();
+  w.kv("name", value);
+  w.end_object();
+  w.end_object();
+}
+
+void write_process(JsonWriter& w, const ChromeProcess& process, int pid) {
+  write_metadata(w, "process_name", pid, 0, process.name);
+  if (process.tracer == nullptr) return;
+
+  // One viewer thread per layer category, tids assigned in sorted-name
+  // order so the document is byte-stable.
+  std::map<std::string, int> tids;
+  process.tracer->for_each(
+      [&tids](const TraceEvent& e) { tids.emplace(e.cat, 0); });
+  int next_tid = 1;
+  for (auto& [cat, tid] : tids) {
+    tid = next_tid++;
+    write_metadata(w, "thread_name", pid, tid, cat);
+  }
+
+  process.tracer->for_each([&](const TraceEvent& e) {
+    w.begin_object();
+    w.kv("name", e.name);
+    w.kv("cat", e.cat);
+    w.kv("ph", phase_str(e.phase));
+    w.kv("ts", to_trace_ts(e.at));
+    w.kv("pid", pid);
+    w.kv("tid", tids.at(e.cat));
+    if (e.phase == TraceEvent::Phase::kInstant) w.kv("s", "t");
+    if (e.phase == TraceEvent::Phase::kCounter) {
+      w.key("args");
+      w.begin_object();
+      w.kv("value", e.value);
+      w.end_object();
+    } else if (!e.args.empty()) {
+      w.key("args");
+      w.begin_object();
+      for (const auto& [k, v] : e.args) w.kv(k, v);
+      w.end_object();
+    }
+    w.end_object();
+  });
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<ChromeProcess>& processes,
+                        std::ostream& os, const ChromeTraceOptions& options) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (std::size_t i = 0; i < processes.size(); ++i) {
+    write_process(w, processes[i], static_cast<int>(i));
+  }
+  w.end_array();
+  w.kv("displayTimeUnit", "ms");
+  w.key("otherData");
+  w.begin_object();
+  w.kv("exporter", "fiveg::obs");
+  // Ring-buffer accounting is simulated-deterministic; wall clock is not.
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
+  for (const ChromeProcess& p : processes) {
+    if (p.tracer == nullptr) continue;
+    emitted += p.tracer->emitted();
+    dropped += p.tracer->dropped();
+  }
+  w.kv("events_emitted", emitted);
+  w.kv("events_dropped", dropped);
+  if (options.include_wall) {
+    w.key("wall_ms");
+    w.begin_object();
+    for (const ChromeProcess& p : processes) w.kv(p.name, p.wall_ms);
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  os << "\n";
+}
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& os,
+                        const ChromeTraceOptions& options) {
+  write_chrome_trace({ChromeProcess{"fiveg", &tracer, 0.0}}, os, options);
+}
+
+}  // namespace fiveg::obs

@@ -1,0 +1,43 @@
+// Chrome trace_event exporter: serialises Tracer ring buffers into the
+// "JSON Object Format" that chrome://tracing and Perfetto load directly.
+// A campaign maps naturally onto the format: one pid per experiment (with a
+// process_name metadata record), one tid per layer category, simulated
+// nanoseconds mapped onto the viewer's microsecond timeline.
+//
+// With include_wall off the document is a pure function of simulated time —
+// byte-identical across --jobs values — which is what the determinism tier
+// diffs. Wall-clock annotations (per-process wall_ms) only ever appear in
+// the top-level "otherData" object, never in trace events.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace fiveg::obs {
+
+struct ChromeTraceOptions {
+  /// Emit wall-clock fields into "otherData". Off => byte-stable output.
+  bool include_wall = true;
+};
+
+/// One trace-producing process (an experiment run) in the merged document.
+struct ChromeProcess {
+  std::string name;             // shown as the process name in the viewer
+  const Tracer* tracer = nullptr;
+  double wall_ms = 0.0;         // emitted only when include_wall
+};
+
+/// Writes the merged campaign trace. Processes are emitted in the given
+/// order with pid = index; keep the order sorted for determinism.
+void write_chrome_trace(const std::vector<ChromeProcess>& processes,
+                        std::ostream& os,
+                        const ChromeTraceOptions& options = {});
+
+/// Single-tracer convenience (pid 0, process name "fiveg").
+void write_chrome_trace(const Tracer& tracer, std::ostream& os,
+                        const ChromeTraceOptions& options = {});
+
+}  // namespace fiveg::obs

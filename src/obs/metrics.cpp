@@ -1,0 +1,119 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fiveg::obs {
+
+int Histogram::bucket_of(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN
+  int exp = 0;
+  (void)std::frexp(v, &exp);           // v = m * 2^exp, m in [0.5, 1)
+  const int idx = exp + 31;            // [2^-32, 2^-31) -> bucket 0
+  if (idx < 0) return 0;
+  if (idx >= kBuckets) return kBuckets - 1;
+  return idx;
+}
+
+void Histogram::observe(double v) noexcept {
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  ++buckets_[static_cast<std::size_t>(bucket_of(v))];
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max();
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += buckets_[static_cast<std::size_t>(i)];
+    if (seen > rank) {
+      // Upper bound of bucket i, clamped into the observed range.
+      const double ub = std::ldexp(1.0, i - 31);
+      return ub > max_ ? max_ : (ub < min_ ? min_ : ub);
+    }
+  }
+  return max();
+}
+
+namespace {
+
+template <typename Map, typename Metric>
+Metric& find_or_create(Map& map, std::string_view name, MetricClock clock) {
+  const auto it = map.find(name);
+  if (it != map.end()) return it->second.metric;
+  return map.emplace(std::string(name), typename Map::mapped_type{{}, clock})
+      .first->second.metric;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(std::string_view name, MetricClock clock) {
+  return find_or_create<decltype(counters_), Counter>(counters_, name, clock);
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, MetricClock clock) {
+  return find_or_create<decltype(gauges_), Gauge>(gauges_, name, clock);
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      MetricClock clock) {
+  return find_or_create<decltype(histograms_), Histogram>(histograms_, name,
+                                                          clock);
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot(
+    MetricClock clock) const {
+  std::vector<MetricSnapshot> out;
+  out.reserve(size());
+  for (const auto& [name, slot] : counters_) {
+    if (slot.clock != clock) continue;
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kCounter;
+    s.clock = slot.clock;
+    s.value = static_cast<double>(slot.metric.value());
+    s.count = slot.metric.value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, slot] : gauges_) {
+    if (slot.clock != clock) continue;
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kGauge;
+    s.clock = slot.clock;
+    s.value = slot.metric.value();
+    s.max = slot.metric.max();
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, slot] : histograms_) {
+    if (slot.clock != clock) continue;
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kHistogram;
+    s.clock = slot.clock;
+    s.value = slot.metric.mean();
+    s.max = slot.metric.max();
+    s.count = slot.metric.count();
+    s.sum = slot.metric.sum();
+    s.min = slot.metric.min();
+    s.p50 = slot.metric.quantile(0.50);
+    s.p99 = slot.metric.quantile(0.99);
+    out.push_back(std::move(s));
+  }
+  // The three maps are each sorted; merge-sort the concatenation by name
+  // (kind breaks ties) so the combined view is byte-stable.
+  std::sort(out.begin(), out.end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+  return out;
+}
+
+}  // namespace fiveg::obs

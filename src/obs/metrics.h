@@ -1,0 +1,149 @@
+// Named counters/gauges/histograms for the observability layer. One
+// MetricsRegistry exists per experiment run (installed into the thread's
+// obs::Scope by the Runner); instrumented layers fetch stable handles once
+// and bump them with plain non-atomic stores, so the enabled path is a few
+// instructions and the disabled path is a null-pointer check.
+//
+// Metrics are split by clock domain: kSim metrics are pure functions of the
+// simulation (byte-identical across --jobs values and part of the
+// fiveg-runall/v2 `counters` object), while kWall metrics carry wall-clock
+// profiling data and are excluded from determinism diffs, exactly like
+// ExperimentResult::wall_ms.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fiveg::obs {
+
+/// Which clock domain a metric derives from (see file comment).
+enum class MetricClock { kSim, kWall };
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written value plus a high-water mark (for queue depths etc.).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    value_ = v;
+    update_max(v);
+  }
+
+  /// Raises the high-water mark without touching the current value.
+  void update_max(double v) noexcept {
+    if (v > max_) max_ = v;
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] double max() const noexcept {
+    return max_ == kUnset ? 0.0 : max_;
+  }
+
+ private:
+  static constexpr double kUnset = -std::numeric_limits<double>::infinity();
+  double value_ = 0.0;
+  double max_ = kUnset;
+};
+
+/// Fixed-footprint histogram: exact count/sum/min/max plus power-of-two
+/// buckets over the value's binary exponent, good for ~3 significant bits
+/// of quantile resolution across 19 decades — plenty for latency profiles.
+class Histogram {
+ public:
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Approximate quantile (q in [0,1]) from the log2 buckets: returns the
+  /// upper bound of the bucket holding the q-th observation.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+ private:
+  static constexpr int kBuckets = 64;
+  // Bucket i covers [2^(i-32), 2^(i-31)); values <= 0 land in bucket 0.
+  [[nodiscard]] static int bucket_of(double v) noexcept;
+
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/// Flattened view of one metric, for reports and the JSON emitter. The
+/// emitters expand one snapshot into one or more "name" / "name.max" /
+/// "name.p99"-style flat keys.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Kind kind = Kind::kCounter;
+  MetricClock clock = MetricClock::kSim;
+  // kCounter / kGauge current value; histogram mean.
+  double value = 0.0;
+  // kGauge high-water / kHistogram max.
+  double max = 0.0;
+  // kHistogram only.
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Registry of named metrics for one experiment run. Handle references stay
+/// valid for the registry's lifetime (node-based storage). Single-threaded
+/// by design: each experiment worker owns its own registry, which is what
+/// keeps kSim metrics deterministic without atomics.
+class MetricsRegistry {
+ public:
+  /// Finds or creates. The clock domain is fixed on first use; later calls
+  /// with a different clock keep the original (first writer wins).
+  Counter& counter(std::string_view name,
+                   MetricClock clock = MetricClock::kSim);
+  Gauge& gauge(std::string_view name, MetricClock clock = MetricClock::kSim);
+  Histogram& histogram(std::string_view name,
+                       MetricClock clock = MetricClock::kSim);
+
+  /// All metrics of one clock domain, sorted by (name, kind) so reports and
+  /// JSON are byte-stable.
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot(MetricClock clock) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  template <typename T>
+  struct Slot {
+    T metric;
+    MetricClock clock;
+  };
+
+  // std::map: stable node addresses across inserts (handles are cached by
+  // the instrumented layers).
+  std::map<std::string, Slot<Counter>, std::less<>> counters_;
+  std::map<std::string, Slot<Gauge>, std::less<>> gauges_;
+  std::map<std::string, Slot<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace fiveg::obs

@@ -1,0 +1,139 @@
+// Structured tracing for the simulated stack — the reproduction's answer to
+// the paper's XCAL-Mobile timeline. Layers emit spans (begin/end), instant
+// events and counter tracks into a TraceSink; the default sink is a
+// ring-buffered Tracer whose contents export to the Chrome trace_event JSON
+// format (chrome://tracing, Perfetto) via obs/chrome_trace.h.
+//
+// Every event is stamped in *simulated* time, so a trace is a pure function
+// of the experiment seed: byte-identical across --jobs values and safe to
+// diff in CI. Wall-clock profiling lives in obs::MetricsRegistry (kWall
+// metrics), never in trace events.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace fiveg::obs {
+
+/// Key/value annotations attached to an event. Values are emitted as JSON
+/// strings (the Chrome writer escapes them).
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+/// One structured trace record.
+struct TraceEvent {
+  enum class Phase : std::uint8_t {
+    kBegin,    // span open  -> Chrome "B"
+    kEnd,      // span close -> Chrome "E"
+    kInstant,  // point event -> Chrome "i"
+    kCounter,  // counter-track sample -> Chrome "C"
+  };
+
+  Phase phase = Phase::kInstant;
+  sim::Time at = 0;    // simulated time
+  std::string name;    // e.g. "ran.handoff", or the track name for counters
+  std::string cat;     // layer track: "sim", "ran", "tcp", "net", "energy"
+  double value = 0.0;  // counter tracks only
+  TraceArgs args;
+};
+
+/// Destination for trace events. The ring-buffered Tracer below is the
+/// default; tests substitute capturing sinks.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void emit(TraceEvent e) = 0;
+};
+
+/// Ring-buffered tracer: keeps the most recent `capacity` events, counts
+/// what it had to drop. Single-threaded, like everything else in one
+/// experiment run.
+class Tracer final : public TraceSink {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 18;  // events
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Installs the simulated-clock source used by the RAII span() overload
+  /// (sim::Simulator installs itself on construction). Without a clock,
+  /// clock-less emissions stamp time 0. `owner` identifies the installer so
+  /// its destructor can release the clock without clobbering a newer one.
+  void set_clock(std::function<sim::Time()> clock,
+                 const void* owner = nullptr) {
+    clock_ = std::move(clock);
+    clock_owner_ = owner;
+  }
+
+  /// Drops the clock iff `owner` still owns it (dangling-callback guard).
+  void clear_clock(const void* owner) {
+    if (clock_owner_ == owner) {
+      clock_ = nullptr;
+      clock_owner_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] sim::Time clock_now() const {
+    return clock_ ? clock_() : 0;
+  }
+
+  void emit(TraceEvent e) override;
+
+  void begin(sim::Time at, std::string_view name, std::string_view cat,
+             TraceArgs args = {});
+  void end(sim::Time at, std::string_view name, std::string_view cat);
+  void instant(sim::Time at, std::string_view name, std::string_view cat,
+               TraceArgs args = {});
+  /// Samples a counter track (e.g. queue depth, cwnd). `track` doubles as
+  /// the event name.
+  void counter(sim::Time at, std::string_view track, std::string_view cat,
+               double value);
+
+  /// RAII span on the installed clock: begin at construction, end at
+  /// destruction. Spans must nest within one category (Chrome B/E rule);
+  /// use explicit begin()/end() for spans that cross simulator callbacks.
+  class Span {
+   public:
+    Span(Tracer* tracer, std::string name, std::string cat);
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&&) = delete;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+   private:
+    Tracer* tracer_;  // null after move-from
+    std::string name_;
+    std::string cat_;
+  };
+  [[nodiscard]] Span span(std::string_view name, std::string_view cat,
+                          TraceArgs args = {});
+
+  /// Buffered events, oldest first.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+  /// Visits buffered events oldest-first without copying.
+  void for_each(const std::function<void(const TraceEvent&)>& fn) const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t buffered() const noexcept { return ring_.size(); }
+  /// Total events ever emitted (>= buffered()).
+  [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
+  /// Events lost to ring wraparound.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return emitted_ - ring_.size();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // next overwrite slot once the ring is full
+  std::uint64_t emitted_ = 0;
+  std::function<sim::Time()> clock_;
+  const void* clock_owner_ = nullptr;
+};
+
+}  // namespace fiveg::obs

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <string>
 
+#include "obs/obs.h"
+
 namespace fiveg::ran {
 
 HandoffEngine::HandoffEngine(sim::Simulator* simulator,
@@ -30,7 +32,7 @@ void HandoffEngine::start(geo::Route route) {
   lte_ = best_lte.cell;
   nr_ = nullptr;
 
-  sim_->schedule_in(0, [this] { step(); });
+  sim_->schedule_in(0, "ran.mobility_step", [this] { step(); });
 }
 
 geo::Point HandoffEngine::position_at(sim::Time at) const {
@@ -150,6 +152,13 @@ void HandoffEngine::step() {
                           "nr pci=" + std::to_string(serving->cell->pci) +
                               " -> pci=" + std::to_string(neighbor->cell->pci));
         }
+        if (auto* t = obs::tracer()) {
+          t->instant(now, "ran.a3_trigger", "ran",
+                     {{"rat", "nr"},
+                      {"serving_pci", std::to_string(serving->cell->pci)},
+                      {"neighbor_pci", std::to_string(neighbor->cell->pci)}});
+        }
+        if (auto* m = obs::metrics()) m->counter("ran.a3_triggers").add();
         begin_handoff(HandoffType::k5G5G, nr_, neighbor->cell,
                       serving->rsrq_db);
       }
@@ -171,13 +180,21 @@ void HandoffEngine::step() {
                           "lte pci=" + std::to_string(serving->cell->pci) +
                               " -> pci=" + std::to_string(neighbor->cell->pci));
         }
+        if (auto* t = obs::tracer()) {
+          t->instant(now, "ran.a3_trigger", "ran",
+                     {{"rat", "lte"},
+                      {"serving_pci", std::to_string(serving->cell->pci)},
+                      {"neighbor_pci", std::to_string(neighbor->cell->pci)}});
+        }
+        if (auto* m = obs::metrics()) m->counter("ran.a3_triggers").add();
         begin_handoff(HandoffType::k4G4G, lte_, neighbor->cell,
                       serving->rsrq_db);
       }
     }
   }
 
-  sim_->schedule_in(config_.sample_period, [this] { step(); });
+  sim_->schedule_in(config_.sample_period, "ran.mobility_step",
+                    [this] { step(); });
 }
 
 void HandoffEngine::begin_handoff(HandoffType type, const Cell* from,
@@ -202,9 +219,23 @@ void HandoffEngine::begin_handoff(HandoffType type, const Cell* from,
                     to_string(type) + " " + std::to_string(rec.from_pci) +
                         " -> " + std::to_string(rec.to_pci));
   }
+  // A hand-off leg is a genuine simulated-time span: begin at the trigger,
+  // end at signalling completion. Legs never overlap (one hand-off at a
+  // time), so Chrome's per-track B/E nesting holds.
+  if (auto* t = obs::tracer()) {
+    t->begin(sim_->now(), "ran.handoff", "ran",
+             {{"type", to_string(type)},
+              {"from_pci", std::to_string(rec.from_pci)},
+              {"to_pci", std::to_string(rec.to_pci)}});
+  }
+  if (auto* m = obs::metrics()) {
+    m->counter("ran.handoff.begun").add();
+    m->counter("ran.handoff.type." + to_string(type)).add();
+    m->histogram("ran.handoff.latency_ms").observe(sim::to_millis(latency));
+  }
 
   const std::size_t idx = records_.size() - 1;
-  sim_->schedule_in(latency,
+  sim_->schedule_in(latency, "ran.handoff_complete",
                     [this, idx, type, to] { complete_handoff(idx, type, to); });
 }
 
@@ -233,9 +264,10 @@ void HandoffEngine::complete_handoff(std::size_t record_idx, HandoffType type,
   if (log_ != nullptr) {
     log_->log_event(sim_->now(), "HO_COMPLETE", to_string(type));
   }
-  sim_->schedule_in(config_.after_sample_delay, [this, record_idx] {
-    sample_quality_after(record_idx);
-  });
+  if (auto* t = obs::tracer()) t->end(sim_->now(), "ran.handoff", "ran");
+  if (auto* m = obs::metrics()) m->counter("ran.handoff.completed").add();
+  sim_->schedule_in(config_.after_sample_delay, "ran.ho_quality_sample",
+                    [this, record_idx] { sample_quality_after(record_idx); });
 }
 
 void HandoffEngine::sample_quality_after(std::size_t record_idx) {

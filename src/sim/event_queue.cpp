@@ -5,9 +5,10 @@
 
 namespace fiveg::sim {
 
-EventId EventQueue::schedule(Time at, std::function<void()> action) {
+EventId EventQueue::schedule(Time at, const char* label,
+                             std::function<void()> action) {
   const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(action)});
+  heap_.push(Entry{at, id, label, std::move(action)});
   return id;
 }
 
@@ -40,7 +41,8 @@ EventQueue::Popped EventQueue::pop() {
   assert(!heap_.empty());
   // The callback may schedule or cancel events, so detach it from the heap
   // before it can be invoked.
-  Popped out{heap_.top().at, std::move(heap_.top().action)};
+  Popped out{heap_.top().at, heap_.top().label,
+             std::move(heap_.top().action)};
   heap_.pop();
   return out;
 }

@@ -21,7 +21,15 @@ class EventQueue {
  public:
   /// Schedules `action` to fire at absolute time `at`. Returns a handle
   /// that can be passed to `cancel`.
-  EventId schedule(Time at, std::function<void()> action);
+  EventId schedule(Time at, std::function<void()> action) {
+    return schedule(at, nullptr, std::move(action));
+  }
+
+  /// Labelled variant for the observability layer: `label` buckets the
+  /// event in profiling reports and traces. It must point at storage that
+  /// outlives the queue (string literals, in practice); null means
+  /// unlabelled. Carrying the pointer costs unlabelled callers nothing.
+  EventId schedule(Time at, const char* label, std::function<void()> action);
 
   /// Cancels a pending event. Cancelling an already-fired or unknown
   /// handle is a harmless no-op (the common race in protocol timers).
@@ -36,6 +44,7 @@ class EventQueue {
   /// A popped event, detached from the heap.
   struct Popped {
     Time at;
+    const char* label;  // null when unlabelled
     std::function<void()> action;
   };
 
@@ -52,10 +61,16 @@ class EventQueue {
     return next_id_;
   }
 
+  /// Heap occupancy, an upper bound on the runnable-event count (lazily
+  /// cancelled entries are included until reaped). Used for queue-depth
+  /// high-water marks, where the bound is tight enough.
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
  private:
   struct Entry {
     Time at;
     EventId id;
+    const char* label;
     // Heap entries are moved, never copied: the callback may own captures.
     mutable std::function<void()> action;
     friend bool operator>(const Entry& a, const Entry& b) noexcept {

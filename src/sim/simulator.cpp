@@ -1,16 +1,44 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <string>
 #include <utility>
+
+#include "obs/obs.h"
 
 namespace fiveg::sim {
 
-EventId Simulator::schedule_at(Time at, std::function<void()> action) {
-  return queue_.schedule(std::max(at, now_), std::move(action));
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double seconds_since(WallClock::time_point start) {
+  return std::chrono::duration<double>(WallClock::now() - start).count();
 }
 
-EventId Simulator::schedule_in(Time delay, std::function<void()> action) {
-  return schedule_at(now_ + std::max<Time>(delay, 0), std::move(action));
+}  // namespace
+
+Simulator::Simulator()
+    : tracer_(obs::tracer()), metrics_(obs::metrics()) {
+  if (tracer_ != nullptr) {
+    tracer_->set_clock([this] { return now_; }, this);
+  }
+}
+
+Simulator::~Simulator() {
+  if (tracer_ != nullptr) tracer_->clear_clock(this);
+}
+
+EventId Simulator::schedule_at(Time at, const char* label,
+                               std::function<void()> action) {
+  return queue_.schedule(std::max(at, now_), label, std::move(action));
+}
+
+EventId Simulator::schedule_in(Time delay, const char* label,
+                               std::function<void()> action) {
+  return schedule_at(now_ + std::max<Time>(delay, 0), label,
+                     std::move(action));
 }
 
 // The clock must advance to the event's timestamp *before* the callback
@@ -19,23 +47,94 @@ bool Simulator::step() {
   if (queue_.empty()) return false;
   EventQueue::Popped e = queue_.pop();
   now_ = e.at;
+  if (metrics_ == nullptr && tracer_ == nullptr) {  // disabled fast path
+    e.action();
+    ++executed_;
+    return true;
+  }
+  observed_step(e);
+  return true;
+}
+
+Simulator::LabelStats& Simulator::stats_for(const char* label) {
+  LabelStats& stats = label_stats_[label];
+  if (stats.count == nullptr) {
+    const std::string suffix = label != nullptr ? label : "(unlabeled)";
+    stats.count = &metrics_->counter("sim.events." + suffix);
+    stats.wall_us = &metrics_->histogram("sim.callback_wall_us." + suffix,
+                                         obs::MetricClock::kWall);
+  }
+  return stats;
+}
+
+void Simulator::observed_step(EventQueue::Popped& e) {
+  depth_hwm_ = std::max(depth_hwm_, queue_.size() + 1);  // +1: the popped one
+
+  if (tracer_ != nullptr) {
+    if (e.label != nullptr) tracer_->instant(now_, e.label, "sim");
+    const auto depth = static_cast<double>(queue_.size());
+    if (depth != last_depth_traced_) {
+      tracer_->counter(now_, "sim.queue_depth", "sim", depth);
+      last_depth_traced_ = depth;
+    }
+  }
+
+  if (metrics_ == nullptr) {
+    e.action();
+    ++executed_;
+    return;
+  }
+  if (events_total_ == nullptr) {
+    events_total_ = &metrics_->counter("sim.events");
+    depth_gauge_ = &metrics_->gauge("sim.queue_depth_hwm");
+  }
+  LabelStats& stats = stats_for(e.label);
+  const auto start = WallClock::now();
   e.action();
   ++executed_;
-  return true;
+  events_total_->add();
+  stats.count->add();
+  stats.wall_us->observe(seconds_since(start) * 1e6);
+  depth_gauge_->update_max(static_cast<double>(depth_hwm_));
+}
+
+void Simulator::record_run(double wall_seconds, std::uint64_t events) {
+  if (metrics_ == nullptr || events == 0 || wall_seconds <= 0.0) return;
+  metrics_
+      ->histogram("sim.wall_events_per_sec", obs::MetricClock::kWall)
+      .observe(static_cast<double>(events) / wall_seconds);
 }
 
 void Simulator::run() {
   stopped_ = false;
+  if (metrics_ == nullptr) {
+    while (!stopped_ && step()) {
+    }
+    return;
+  }
+  const auto start = WallClock::now();
+  const std::uint64_t before = executed_;
   while (!stopped_ && step()) {
   }
+  record_run(seconds_since(start), executed_ - before);
 }
 
 void Simulator::run_until(Time deadline) {
   stopped_ = false;
+  if (metrics_ == nullptr) {
+    while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
+      step();
+    }
+    now_ = std::max(now_, deadline);
+    return;
+  }
+  const auto start = WallClock::now();
+  const std::uint64_t before = executed_;
   while (!stopped_ && !queue_.empty() && queue_.next_time() <= deadline) {
     step();
   }
   now_ = std::max(now_, deadline);
+  record_run(seconds_since(start), executed_ - before);
 }
 
 }  // namespace fiveg::sim

@@ -2,12 +2,28 @@
 // protocol machinery in this repository (radio, RAN, TCP, energy) advances
 // exclusively through callbacks scheduled here, which makes every experiment
 // deterministic for a given RNG seed.
+//
+// The simulator is also the root of the observability layer's profiling
+// data: when the constructing thread has an obs::Scope installed (see
+// obs/obs.h), every executed event is counted per label, timed on the wall
+// clock into kWall histograms, and the queue-depth high-water mark is
+// tracked. Without a scope (the default), each step pays a single branch.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <map>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
+
+namespace fiveg::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class Tracer;
+}  // namespace fiveg::obs
 
 namespace fiveg::sim {
 
@@ -19,15 +35,36 @@ namespace fiveg::sim {
 ///   s.run_until(2 * kSecond);
 class Simulator {
  public:
+  /// Captures the calling thread's observability scope; with none
+  /// installed, all instrumentation is disabled for this instance.
+  Simulator();
+  ~Simulator();
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
   /// Current simulated time. Starts at 0.
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   /// Schedules `action` at absolute time `at` (clamped to `now()` if in the
   /// past, so zero-delay self-posts are safe).
-  EventId schedule_at(Time at, std::function<void()> action);
+  EventId schedule_at(Time at, std::function<void()> action) {
+    return schedule_at(at, nullptr, std::move(action));
+  }
+
+  /// Labelled variant: `label` buckets this event in profiling reports and
+  /// traces ("tcp.rto", "net.link_tx", ...). Must be a string literal or
+  /// other storage outliving the simulator; unlabelled callers pay nothing.
+  EventId schedule_at(Time at, const char* label,
+                      std::function<void()> action);
 
   /// Schedules `action` to fire `delay` from now.
-  EventId schedule_in(Time delay, std::function<void()> action);
+  EventId schedule_in(Time delay, std::function<void()> action) {
+    return schedule_in(delay, nullptr, std::move(action));
+  }
+
+  /// Labelled variant of `schedule_in` (see `schedule_at`).
+  EventId schedule_in(Time delay, const char* label,
+                      std::function<void()> action);
 
   /// Cancels a pending event (no-op if already fired).
   void cancel(EventId id) { queue_.cancel(id); }
@@ -50,11 +87,43 @@ class Simulator {
     return executed_;
   }
 
+  /// Pending-event-set occupancy (upper bound; see EventQueue::size).
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
+
+  /// Deepest the pending set has ever been. Only tracked while an
+  /// observability scope is installed; 0 otherwise.
+  [[nodiscard]] std::size_t queue_depth_high_water() const noexcept {
+    return depth_hwm_;
+  }
+
  private:
+  // Cached per-label metric handles, keyed by label pointer identity.
+  struct LabelStats {
+    obs::Counter* count = nullptr;
+    obs::Histogram* wall_us = nullptr;
+  };
+
+  // Out-of-line slow path: executes `e` with counting/timing/tracing.
+  void observed_step(EventQueue::Popped& e);
+  LabelStats& stats_for(const char* label);
+  // Observes one completed run()/run_until() drain on the wall clock.
+  void record_run(double wall_seconds, std::uint64_t events);
+
   EventQueue queue_;
   Time now_ = 0;
   bool stopped_ = false;
   std::uint64_t executed_ = 0;
+
+  // Observability (null when no scope was installed at construction).
+  obs::Tracer* tracer_;
+  obs::MetricsRegistry* metrics_;
+  std::size_t depth_hwm_ = 0;
+  obs::Counter* events_total_ = nullptr;
+  obs::Gauge* depth_gauge_ = nullptr;
+  std::map<const void*, LabelStats> label_stats_;
+  double last_depth_traced_ = -1.0;
 };
 
 }  // namespace fiveg::sim

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace fiveg::tcp {
 
 TcpSender::TcpSender(sim::Simulator* simulator, TcpConfig config,
@@ -13,7 +15,35 @@ TcpSender::TcpSender(sim::Simulator* simulator, TcpConfig config,
       flow_id_(flow_id),
       emit_(std::move(emit)),
       cc_(make_congestion_control(config.algo, config.mss_bytes, config.seed)),
-      rtt_(config.min_rto, config.initial_rto) {}
+      rtt_(config.min_rto, config.initial_rto) {
+  tracer_ = obs::tracer();
+  if (auto* m = obs::metrics()) {
+    retx_ctr_ = &m->counter("tcp.retransmissions");
+    loss_ctr_ = &m->counter("tcp.loss_episodes");
+    timeout_ctr_ = &m->counter("tcp.timeouts");
+  }
+  if (tracer_ != nullptr) {
+    cwnd_track_ = "tcp.cwnd.flow" + std::to_string(flow_id_);
+  }
+  was_slow_start_ = cc_->in_slow_start();
+}
+
+void TcpSender::log_cwnd() {
+  const double cwnd = cc_->cwnd_bytes();
+  cwnd_log_.add(sim_->now(), cwnd);
+  if (tracer_ == nullptr) return;
+  if (cwnd != last_cwnd_traced_) {
+    tracer_->counter(sim_->now(), cwnd_track_, "tcp", cwnd);
+    last_cwnd_traced_ = cwnd;
+  }
+  const bool ss = cc_->in_slow_start();
+  if (was_slow_start_ && !ss) {
+    tracer_->instant(sim_->now(), "tcp.slow_start_exit", "tcp",
+                     {{"flow", std::to_string(flow_id_)},
+                      {"cwnd_bytes", std::to_string(cwnd)}});
+  }
+  was_slow_start_ = ss;
+}
 
 void TcpSender::start_bulk() {
   bulk_ = true;
@@ -44,7 +74,7 @@ void TcpSender::try_send() {
       // no matter how many ACKs poke try_send in the meantime.
       if (!pace_timer_pending_) {
         pace_timer_pending_ = true;
-        sim_->schedule_at(next_send_time_, [this] {
+        sim_->schedule_at(next_send_time_, "tcp.pace", [this] {
           pace_timer_pending_ = false;
           try_send();
         });
@@ -83,6 +113,7 @@ void TcpSender::send_segment(std::uint64_t seq, bool retransmit) {
 
   if (retransmit) {
     ++retransmissions_;
+    if (retx_ctr_ != nullptr) retx_ctr_->add();
     // in_flight_ stays sorted by seq (records are appended for new data
     // only), so the record lookup can binary-search — a linear scan makes
     // deep-window recovery quadratic.
@@ -110,7 +141,7 @@ void TcpSender::send_segment(std::uint64_t seq, bool retransmit) {
 
 void TcpSender::arm_rto() {
   if (rto_timer_) sim_->cancel(*rto_timer_);
-  rto_timer_ = sim_->schedule_in(rtt_.rto(), [this] { on_rto(); });
+  rto_timer_ = sim_->schedule_in(rtt_.rto(), "tcp.rto", [this] { on_rto(); });
 }
 
 void TcpSender::deliver(net::Packet p) {
@@ -182,7 +213,7 @@ void TcpSender::on_ack(const net::Packet& ack) {
     e.delivery_rate_bps = rate_sample;
     e.app_limited = app_limited;
     cc_->on_ack(e);
-    cwnd_log_.add(sim_->now(), cc_->cwnd_bytes());
+    log_cwnd();
 
     maybe_complete();
     if (bytes_in_flight() == 0 && !data_available(snd_nxt_)) {
@@ -232,8 +263,15 @@ void TcpSender::enter_fast_retransmit() {
   recovery_point_ = snd_nxt_;
   retx_next_ = snd_una_;
   dupacks_ = 0;
+  if (loss_ctr_ != nullptr) loss_ctr_->add();
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim_->now(), "tcp.loss", "tcp",
+                     {{"flow", std::to_string(flow_id_)},
+                      {"kind", "fast_retransmit"},
+                      {"snd_una", std::to_string(snd_una_)}});
+  }
   cc_->on_loss(sim_->now(), bytes_in_flight());
-  cwnd_log_.add(sim_->now(), cc_->cwnd_bytes());
+  log_cwnd();
   retransmit_holes();
 }
 
@@ -241,9 +279,16 @@ void TcpSender::on_rto() {
   rto_timer_.reset();
   if (bytes_in_flight() == 0) return;
   ++timeouts_;
+  if (timeout_ctr_ != nullptr) timeout_ctr_->add();
+  if (tracer_ != nullptr) {
+    tracer_->instant(sim_->now(), "tcp.loss", "tcp",
+                     {{"flow", std::to_string(flow_id_)},
+                      {"kind", "rto"},
+                      {"snd_una", std::to_string(snd_una_)}});
+  }
   rtt_.backoff();
   cc_->on_timeout(sim_->now());
-  cwnd_log_.add(sim_->now(), cc_->cwnd_bytes());
+  log_cwnd();
   in_recovery_ = false;
   dupacks_ = 0;
   // Go-back-N: everything past snd_una_ is presumed lost.

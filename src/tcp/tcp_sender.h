@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "measure/timeseries.h"
 #include "net/packet.h"
@@ -82,6 +83,9 @@ class TcpSender final : public net::PacketSink {
   [[nodiscard]] std::uint64_t effective_window() const;
   [[nodiscard]] bool data_available(std::uint64_t seq) const;
   void maybe_complete();
+  // Appends to cwnd_log_ and, when tracing, samples the per-flow cwnd
+  // counter track and flags the slow-start exit.
+  void log_cwnd();
 
   sim::Simulator* sim_;
   TcpConfig config_;
@@ -118,6 +122,16 @@ class TcpSender final : public net::PacketSink {
   std::uint64_t retransmissions_ = 0;
   std::uint64_t timeouts_ = 0;
   measure::TimeSeries cwnd_log_;
+
+  // Observability handles, resolved once at construction (null without a
+  // scope on the constructing thread).
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* retx_ctr_ = nullptr;
+  obs::Counter* loss_ctr_ = nullptr;
+  obs::Counter* timeout_ctr_ = nullptr;
+  std::string cwnd_track_;       // per-flow counter-track name
+  double last_cwnd_traced_ = -1.0;
+  bool was_slow_start_ = true;
 };
 
 }  // namespace fiveg::tcp

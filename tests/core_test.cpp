@@ -36,6 +36,7 @@ TEST(RegistryTest, AllExperimentsRegistered) {
       "fig3_indoor_outdoor",    "fig4_5_ho_quality",
       "fig6_ho_latency",        "fig7_throughput",
       "fig8_cwnd",              "fig9_loss_vs_load",
+      "smoke_tcp_bulk",
       "table1_phy_info",        "table2_rsrp_distribution",
       "table3_buffer_sizing",   "table4_power_policies",
   };

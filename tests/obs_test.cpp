@@ -1,0 +1,410 @@
+// Tests for the observability subsystem: metrics registry semantics, the
+// ring-buffered tracer (wraparound, span nesting, clock ownership), the
+// Chrome trace_event exporter (escaping, structure — validated by parsing
+// the output back), the thread-local scope, and the Simulator's profiling
+// hooks including trace determinism across identical runs.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.h"
+#include "obs/json_check.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace fiveg::obs {
+namespace {
+
+// --- MetricsRegistry ---
+
+TEST(MetricsTest, CounterAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("x");
+  c.add();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  EXPECT_EQ(&reg.counter("x"), &c);  // same handle on re-lookup
+}
+
+TEST(MetricsTest, GaugeTracksValueAndHighWater) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("depth");
+  g.set(3.0);
+  g.set(1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  EXPECT_DOUBLE_EQ(g.max(), 3.0);
+  g.update_max(10.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);  // update_max leaves the value alone
+  EXPECT_DOUBLE_EQ(g.max(), 10.0);
+}
+
+TEST(MetricsTest, HistogramMomentsAndQuantiles) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  // Log2 buckets: quantiles are approximate but must be ordered and within
+  // the observed range.
+  const double p50 = h.quantile(0.5);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GE(p50, h.min());
+  EXPECT_LE(p99, h.max());
+  EXPECT_LE(p50, p99);
+}
+
+TEST(MetricsTest, EmptyHistogramIsZeroed) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("empty");
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(MetricsTest, SnapshotSplitsByClockAndSorts) {
+  MetricsRegistry reg;
+  reg.counter("b.sim").add(2);
+  reg.counter("a.sim").add(1);
+  reg.histogram("c.wall", MetricClock::kWall).observe(7.0);
+  reg.gauge("d.sim").set(9.0);
+
+  const std::vector<MetricSnapshot> sim = reg.snapshot(MetricClock::kSim);
+  ASSERT_EQ(sim.size(), 3u);
+  EXPECT_EQ(sim[0].name, "a.sim");
+  EXPECT_EQ(sim[1].name, "b.sim");
+  EXPECT_EQ(sim[2].name, "d.sim");
+  EXPECT_EQ(sim[0].kind, MetricSnapshot::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(sim[1].value, 2.0);
+  EXPECT_EQ(sim[2].kind, MetricSnapshot::Kind::kGauge);
+
+  const std::vector<MetricSnapshot> wall = reg.snapshot(MetricClock::kWall);
+  ASSERT_EQ(wall.size(), 1u);
+  EXPECT_EQ(wall[0].name, "c.wall");
+  EXPECT_EQ(wall[0].count, 1u);
+}
+
+TEST(MetricsTest, ClockDomainIsFixedByFirstUse) {
+  MetricsRegistry reg;
+  reg.counter("x", MetricClock::kWall).add();
+  reg.counter("x", MetricClock::kSim).add();  // clock arg ignored: same slot
+  EXPECT_EQ(reg.snapshot(MetricClock::kWall).size(), 1u);
+  EXPECT_EQ(reg.snapshot(MetricClock::kSim).size(), 0u);
+  EXPECT_EQ(reg.counter("x").value(), 2u);
+}
+
+// --- Tracer ring buffer ---
+
+TEST(TracerTest, RingKeepsMostRecentAndCountsDrops) {
+  Tracer t(4);
+  for (int i = 0; i < 10; ++i) {
+    t.instant(i, "e" + std::to_string(i), "cat");
+  }
+  EXPECT_EQ(t.capacity(), 4u);
+  EXPECT_EQ(t.buffered(), 4u);
+  EXPECT_EQ(t.emitted(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+  const std::vector<TraceEvent> events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, and the survivors are exactly the last four emissions.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)].name,
+              "e" + std::to_string(i + 6));
+    EXPECT_EQ(events[static_cast<size_t>(i)].at, i + 6);
+  }
+}
+
+TEST(TracerTest, NoDropsBelowCapacity) {
+  Tracer t(8);
+  t.instant(1, "a", "c");
+  t.instant(2, "b", "c");
+  EXPECT_EQ(t.buffered(), 2u);
+  EXPECT_EQ(t.dropped(), 0u);
+  const std::vector<TraceEvent> events = t.snapshot();
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[1].name, "b");
+}
+
+TEST(TracerTest, SpansNestViaRaii) {
+  Tracer t;
+  sim::Time fake_now = 0;
+  t.set_clock([&fake_now] { return fake_now; });
+  {
+    const Tracer::Span outer = t.span("outer", "cat");
+    fake_now = 10;
+    {
+      const Tracer::Span inner = t.span("inner", "cat");
+      fake_now = 20;
+    }
+    fake_now = 30;
+  }
+  const std::vector<TraceEvent> events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].phase, TraceEvent::Phase::kBegin);
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[0].at, 0);
+  EXPECT_EQ(events[1].phase, TraceEvent::Phase::kBegin);
+  EXPECT_EQ(events[1].name, "inner");
+  EXPECT_EQ(events[1].at, 10);
+  EXPECT_EQ(events[2].phase, TraceEvent::Phase::kEnd);  // inner closes first
+  EXPECT_EQ(events[2].name, "inner");
+  EXPECT_EQ(events[2].at, 20);
+  EXPECT_EQ(events[3].phase, TraceEvent::Phase::kEnd);
+  EXPECT_EQ(events[3].name, "outer");
+  EXPECT_EQ(events[3].at, 30);
+}
+
+TEST(TracerTest, ClearClockOnlyReleasesOwner) {
+  Tracer t;
+  int owner_a = 0, owner_b = 0;
+  t.set_clock([] { return sim::Time{1}; }, &owner_a);
+  t.set_clock([] { return sim::Time{2}; }, &owner_b);
+  t.clear_clock(&owner_a);  // stale owner: must not clobber b's clock
+  EXPECT_EQ(t.clock_now(), 2);
+  t.clear_clock(&owner_b);
+  EXPECT_EQ(t.clock_now(), 0);  // clockless default
+}
+
+// --- Chrome exporter + parse-back validation ---
+
+TEST(ChromeTraceTest, EscapesHostileStringsAndParsesBack) {
+  Tracer t;
+  t.instant(1000, "quote\" backslash\\ control\x01\n", "c\"at",
+            {{"key \"k\"", "value\twith\\escapes"}});
+  t.begin(2000, "span", "c\"at");
+  t.end(3000, "span", "c\"at");
+  t.counter(4000, "track", "c\"at", 1.5);
+
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  const std::string doc = os.str();
+
+  std::string err;
+  EXPECT_TRUE(json_valid(doc, &err)) << err << "\n" << doc;
+
+  const TraceCheck check = check_chrome_trace(doc);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.event_count, 4u);
+  ASSERT_EQ(check.categories.size(), 1u);
+  EXPECT_EQ(check.categories[0], "c\"at");
+}
+
+TEST(ChromeTraceTest, StructureMatchesTraceEventFormat) {
+  Tracer t;
+  t.begin(1'000'000, "work", "sim");   // 1 ms simulated
+  t.end(2'000'000, "work", "sim");
+  t.instant(1'500'000, "tick", "ran");
+
+  std::ostringstream os;
+  write_chrome_trace(t, os);
+  const std::unique_ptr<JsonValue> doc = json_parse(os.str());
+  ASSERT_NE(doc, nullptr);
+  const JsonValue* events = doc->get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is(JsonValue::Type::kArray));
+
+  int begins = 0, ends = 0, instants = 0, meta = 0;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* ph = e.get("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string == "M") {
+      ++meta;
+      continue;
+    }
+    const JsonValue* ts = e.get("ts");
+    ASSERT_NE(ts, nullptr);
+    if (ph->string == "B") {
+      ++begins;
+      EXPECT_DOUBLE_EQ(ts->number, 1000.0);  // ns -> us
+    } else if (ph->string == "E") {
+      ++ends;
+    } else if (ph->string == "i") {
+      ++instants;
+      // Instants carry the scope field Perfetto expects.
+      const JsonValue* s = e.get("s");
+      ASSERT_NE(s, nullptr);
+      EXPECT_EQ(s->string, "t");
+    }
+  }
+  EXPECT_EQ(begins, 1);
+  EXPECT_EQ(ends, 1);
+  EXPECT_EQ(instants, 1);
+  EXPECT_GE(meta, 3);  // process_name + two thread_name records
+}
+
+TEST(ChromeTraceTest, MultiProcessMergeNamesProcesses) {
+  Tracer a, b;
+  a.instant(1, "x", "sim");
+  b.instant(2, "y", "tcp");
+
+  std::vector<ChromeProcess> procs;
+  procs.push_back({"exp_a", &a, 1.0});
+  procs.push_back({"exp_b", &b, 2.0});
+  std::ostringstream os;
+  write_chrome_trace(procs, os);
+
+  const TraceCheck check = check_chrome_trace(os.str());
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.event_count, 2u);
+  ASSERT_EQ(check.processes.size(), 2u);
+  EXPECT_EQ(check.processes[0], "exp_a");
+  EXPECT_EQ(check.processes[1], "exp_b");
+}
+
+TEST(ChromeTraceTest, NoTimingOutputIsByteStable) {
+  // Two identical tracers must export byte-identically with include_wall
+  // off, even when the wall_ms side data differs.
+  const auto make = [](Tracer& t) {
+    t.begin(10, "s", "sim");
+    t.instant(20, "i", "ran", {{"k", "v"}});
+    t.end(30, "s", "sim");
+  };
+  Tracer a, b;
+  make(a);
+  make(b);
+  ChromeTraceOptions no_wall;
+  no_wall.include_wall = false;
+  std::ostringstream osa, osb;
+  write_chrome_trace({{"e", &a, 123.0}}, osa, no_wall);
+  write_chrome_trace({{"e", &b, 456.0}}, osb, no_wall);
+  EXPECT_EQ(osa.str(), osb.str());
+  EXPECT_EQ(osa.str().find("wall_ms"), std::string::npos);
+}
+
+// --- JSON checker itself ---
+
+TEST(JsonCheckTest, AcceptsValidRejectsInvalid) {
+  EXPECT_TRUE(json_valid(R"({"a": [1, 2.5, -3e4], "b": "xé", "c": null})"));
+  EXPECT_TRUE(json_valid(R"("😀")"));  // surrogate pair
+  std::string err;
+  EXPECT_FALSE(json_valid(R"({"a": 01})", &err));     // leading zero
+  EXPECT_FALSE(json_valid(R"({"a": 1,})", &err));     // trailing comma
+  EXPECT_FALSE(json_valid("{\"a\": \"\x01\"}", &err));  // raw control char
+  EXPECT_FALSE(json_valid(R"({"a": 1} extra)", &err));  // trailing data
+  EXPECT_FALSE(json_valid(R"({"a")", &err));          // truncated
+}
+
+TEST(JsonCheckTest, TraceCheckRejectsMissingFields) {
+  EXPECT_FALSE(check_chrome_trace(R"({"notTraceEvents": []})").ok);
+  EXPECT_FALSE(check_chrome_trace(R"({"traceEvents": [{"name": "x"}]})").ok);
+  const TraceCheck ok = check_chrome_trace(
+      R"({"traceEvents": [{"name": "x", "ph": "i", "ts": 1, "pid": 0,)"
+      R"( "tid": 1, "cat": "sim", "s": "t"}]})");
+  EXPECT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.event_count, 1u);
+}
+
+// --- Thread-local scope ---
+
+TEST(ScopedObsTest, InstallsAndRestoresNested) {
+  EXPECT_EQ(tracer(), nullptr);
+  EXPECT_EQ(metrics(), nullptr);
+  Tracer t1, t2;
+  MetricsRegistry m1;
+  {
+    const ScopedObs outer(&t1, &m1);
+    EXPECT_EQ(tracer(), &t1);
+    EXPECT_EQ(metrics(), &m1);
+    {
+      const ScopedObs inner(&t2, nullptr);
+      EXPECT_EQ(tracer(), &t2);
+      EXPECT_EQ(metrics(), nullptr);
+    }
+    EXPECT_EQ(tracer(), &t1);
+    EXPECT_EQ(metrics(), &m1);
+  }
+  EXPECT_EQ(tracer(), nullptr);
+  EXPECT_EQ(metrics(), nullptr);
+}
+
+// --- Simulator profiling hooks ---
+
+TEST(SimulatorObsTest, CountsEventsPerLabelAndTracksDepth) {
+  MetricsRegistry reg;
+  Tracer trace;
+  const ScopedObs scope(&trace, &reg);
+
+  sim::Simulator s;
+  for (int i = 0; i < 5; ++i) s.schedule_in(i, "test.tick", [] {});
+  s.schedule_in(10, [] {});  // unlabelled
+  s.run();
+
+  EXPECT_EQ(reg.counter("sim.events").value(), 6u);
+  EXPECT_EQ(reg.counter("sim.events.test.tick").value(), 5u);
+  EXPECT_EQ(reg.counter("sim.events.(unlabeled)").value(), 1u);
+  EXPECT_EQ(s.queue_depth_high_water(), 6u);
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.queue_depth_hwm").max(), 6.0);
+  // Wall-clock timing landed in the kWall domain, not the kSim counters.
+  bool saw_wall_hist = false;
+  for (const MetricSnapshot& m : reg.snapshot(MetricClock::kWall)) {
+    saw_wall_hist |= m.name == "sim.callback_wall_us.test.tick";
+  }
+  EXPECT_TRUE(saw_wall_hist);
+  for (const MetricSnapshot& m : reg.snapshot(MetricClock::kSim)) {
+    EXPECT_EQ(m.name.find("wall"), std::string::npos) << m.name;
+  }
+
+  // Labelled events appear as instants on the sim track.
+  int label_instants = 0;
+  trace.for_each([&](const TraceEvent& e) {
+    label_instants += (e.phase == TraceEvent::Phase::kInstant &&
+                       e.name == "test.tick");
+  });
+  EXPECT_EQ(label_instants, 5);
+}
+
+TEST(SimulatorObsTest, SimulatorInstallsTracerClock) {
+  Tracer trace;
+  const ScopedObs scope(&trace, nullptr);
+  {
+    sim::Simulator s;
+    s.schedule_in(42, [&] {
+      EXPECT_EQ(trace.clock_now(), 42);  // spans stamp simulated time
+    });
+    s.run();
+  }
+  // Destroying the simulator releases the clock instead of dangling.
+  EXPECT_EQ(trace.clock_now(), 0);
+}
+
+TEST(SimulatorObsTest, IdenticalRunsYieldIdenticalTraces) {
+  const auto run_once = [](std::string* out) {
+    Tracer trace;
+    MetricsRegistry reg;
+    const ScopedObs scope(&trace, &reg);
+    sim::Simulator s;
+    // A little self-rescheduling workload with spans and counters.
+    int remaining = 50;
+    std::function<void()> tick = [&] {
+      trace.instant(s.now(), "tick", "sim");
+      trace.counter(s.now(), "remaining", "sim",
+                    static_cast<double>(remaining));
+      if (--remaining > 0) s.schedule_in(100, "loop", tick);
+    };
+    s.schedule_in(0, "loop", tick);
+    s.run();
+    ChromeTraceOptions no_wall;
+    no_wall.include_wall = false;
+    std::ostringstream os;
+    write_chrome_trace({{"det", &trace, 0.0}}, os, no_wall);
+    *out = os.str();
+  };
+  std::string first, second;
+  run_once(&first);
+  run_once(&second);
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fiveg::obs

@@ -1,6 +1,9 @@
 # ctest script: `fiveg_runall --jobs N` must be byte-identical to
-# `--jobs 1` at the same seed, for both the text output and the JSON
-# document (timing fields excluded via --no-timing).
+# `--jobs 1` at the same seed — for the text output, the JSON document
+# (which includes the deterministic per-experiment `counters` object) and
+# the Chrome trace (timing fields excluded via --no-timing). Tracing is ON
+# for both runs, so this also proves instrumentation itself is
+# deterministic and does not perturb the simulation.
 #
 # Invoked as:
 #   cmake -DRUNALL=<path-to-fiveg_runall> -DWORK_DIR=<dir>
@@ -14,6 +17,7 @@ set(common --smoke --seed 42 --timeout 300 --no-timing)
 
 execute_process(
   COMMAND ${RUNALL} ${common} --jobs 1 --json ${WORK_DIR}/serial.json
+          --trace ${WORK_DIR}/serial.trace.json
   OUTPUT_FILE ${WORK_DIR}/serial.txt
   ERROR_VARIABLE serial_err
   RESULT_VARIABLE serial_rc)
@@ -23,6 +27,7 @@ endif()
 
 execute_process(
   COMMAND ${RUNALL} ${common} --jobs 8 --json ${WORK_DIR}/parallel.json
+          --trace ${WORK_DIR}/parallel.trace.json
   OUTPUT_FILE ${WORK_DIR}/parallel.txt
   ERROR_VARIABLE parallel_err
   RESULT_VARIABLE parallel_rc)
@@ -46,4 +51,12 @@ if(NOT json_diff EQUAL 0)
   message(FATAL_ERROR "--jobs 8 JSON output differs from --jobs 1")
 endif()
 
-message(STATUS "runall determinism: text and JSON byte-identical")
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORK_DIR}/serial.trace.json ${WORK_DIR}/parallel.trace.json
+  RESULT_VARIABLE trace_diff)
+if(NOT trace_diff EQUAL 0)
+  message(FATAL_ERROR "--jobs 8 trace output differs from --jobs 1")
+endif()
+
+message(STATUS "runall determinism: text, JSON and trace byte-identical")

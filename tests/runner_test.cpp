@@ -10,6 +10,9 @@
 #include <thread>
 
 #include "core/runner.h"
+#include "obs/json_check.h"
+#include "obs/obs.h"
+#include "obs/trace.h"
 #include "sim/rng.h"
 
 namespace fiveg::core {
@@ -36,6 +39,11 @@ class FakeExperiment final : public Experiment {
              << " seed=" << ctx.seed << "\n\n";
     ctx.metric("acc", acc, "units");
     ctx.metric_point("sweep", index_, acc / 2);
+    // Exercise the runner-installed obs scope like a real experiment would.
+    if (auto* m = obs::metrics()) m->counter("fake.runs").add();
+    if (auto* t = obs::tracer()) {
+      t->instant(1000 * index_, "fake.tick", "sim");
+    }
   }
 
  private:
@@ -195,14 +203,86 @@ TEST(RunnerTest, JsonOutputIsWellFormedScaffold) {
   std::ostringstream os;
   write_json(s, os, /*include_timing=*/true);
   const std::string j = os.str();
-  EXPECT_NE(j.find("\"schema\": \"fiveg-runall/v1\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\": \"fiveg-runall/v2\""), std::string::npos);
   EXPECT_NE(j.find("\"experiments\""), std::string::npos);
   EXPECT_NE(j.find("\"wall_ms\""), std::string::npos);
   EXPECT_NE(j.find("\"summary\""), std::string::npos);
-  // Timing off really drops the non-deterministic fields.
+  // The v2 delta: a flat counters object per experiment.
+  EXPECT_NE(j.find("\"counters\""), std::string::npos);
+  EXPECT_NE(j.find("\"fake.runs\": 1"), std::string::npos);
+  // Timing off really drops the non-deterministic fields — wall_ms AND the
+  // kWall profile object.
   std::ostringstream os2;
   write_json(s, os2, /*include_timing=*/false);
   EXPECT_EQ(os2.str().find("wall_ms"), std::string::npos);
+  EXPECT_EQ(os2.str().find("\"profile\""), std::string::npos);
+}
+
+TEST(RunnerTest, CapturesCountersAndOptionalTrace) {
+  ExperimentRegistry reg = make_fake_registry(2);
+  RunnerOptions opt;
+  opt.trace = true;
+  opt.trace_capacity = 64;
+  const RunSummary s = Runner(opt, &reg).run();
+  ASSERT_EQ(s.results.size(), 2u);
+  for (const ExperimentResult& r : s.results) {
+    ASSERT_NE(r.trace, nullptr);
+    EXPECT_EQ(r.trace->emitted(), 1u);
+    bool saw = false;
+    for (const obs::MetricSnapshot& m : r.counters) {
+      saw |= (m.name == "fake.runs" && m.value == 1.0);
+    }
+    EXPECT_TRUE(saw);
+  }
+
+  // Tracing off: no tracer is allocated at all.
+  RunnerOptions plain;
+  const RunSummary s2 = Runner(plain, &reg).run();
+  for (const ExperimentResult& r : s2.results) {
+    EXPECT_EQ(r.trace, nullptr);
+    EXPECT_FALSE(r.counters.empty());
+  }
+
+  // Metrics off: counters stay empty (opt-out for overhead-sensitive runs).
+  RunnerOptions bare;
+  bare.collect_metrics = false;
+  const RunSummary s3 = Runner(bare, &reg).run();
+  for (const ExperimentResult& r : s3.results) {
+    EXPECT_TRUE(r.counters.empty());
+    EXPECT_TRUE(r.profile.empty());
+  }
+}
+
+TEST(RunnerTest, MergedChromeTraceIsValid) {
+  ExperimentRegistry reg = make_fake_registry(3);
+  RunnerOptions opt;
+  opt.trace = true;
+  const RunSummary s = Runner(opt, &reg).run();
+  std::ostringstream os;
+  write_chrome_trace(s, os, /*include_wall=*/false);
+  const obs::TraceCheck check = obs::check_chrome_trace(os.str());
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.event_count, 3u);  // one instant per fake experiment
+  ASSERT_EQ(check.processes.size(), 3u);
+  EXPECT_EQ(check.processes[0], "fake_0");  // pid order = sorted names
+}
+
+TEST(RunnerTest, TracedParallelRunIsByteIdenticalToSerial) {
+  ExperimentRegistry reg = make_fake_registry(8);
+  RunnerOptions serial;
+  serial.jobs = 1;
+  serial.trace = true;
+  RunnerOptions parallel = serial;
+  parallel.jobs = 8;
+  const RunSummary a = Runner(serial, &reg).run();
+  const RunSummary b = Runner(parallel, &reg).run();
+  std::ostringstream ja, jb, ta, tb;
+  write_json(a, ja, /*include_timing=*/false);
+  write_json(b, jb, /*include_timing=*/false);
+  write_chrome_trace(a, ta, /*include_wall=*/false);
+  write_chrome_trace(b, tb, /*include_wall=*/false);
+  EXPECT_EQ(ja.str(), jb.str());
+  EXPECT_EQ(ta.str(), tb.str());
 }
 
 }  // namespace

@@ -128,6 +128,51 @@ TEST(SimulatorTest, PastScheduleClampsToNow) {
   EXPECT_EQ(seen, 100);
 }
 
+TEST(EventQueueTest, PoppedCarriesLabel) {
+  EventQueue q;
+  q.schedule(5, "my.label", [] {});
+  q.schedule(6, [] {});
+  const EventQueue::Popped a = q.pop();
+  ASSERT_NE(a.label, nullptr);
+  EXPECT_STREQ(a.label, "my.label");
+  const EventQueue::Popped b = q.pop();
+  EXPECT_EQ(b.label, nullptr);  // unlabelled overload stays label-free
+}
+
+TEST(EventQueueTest, SizeIsUpperBoundOnPending) {
+  EventQueue q;
+  q.schedule(1, [] {});
+  const EventId b = q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(b);
+  // Lazily-cancelled entries may still be counted until skipped over.
+  EXPECT_GE(q.size(), 1u);
+  q.pop_and_run();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(SimulatorTest, LabelledSchedulingBehavesLikeUnlabelled) {
+  Simulator s;
+  std::vector<Time> stamps;
+  s.schedule_in(10, "test.step", [&] {
+    stamps.push_back(s.now());
+    s.schedule_at(15, "test.step", [&] { stamps.push_back(s.now()); });
+  });
+  s.run();
+  EXPECT_EQ(stamps, (std::vector<Time>{10, 15}));
+  EXPECT_EQ(s.executed_events(), 2u);
+}
+
+TEST(SimulatorTest, QueueDepthHighWaterZeroWithoutScope) {
+  Simulator s;
+  for (int i = 0; i < 8; ++i) s.schedule_in(i, [] {});
+  s.run();
+  // No obs scope installed: profiling is off, HWM stays untouched.
+  EXPECT_EQ(s.queue_depth_high_water(), 0u);
+  EXPECT_EQ(s.queue_depth(), 0u);
+}
+
 TEST(EventQueueTest, ScheduledCountIsDiagnosticTotal) {
   EventQueue q;
   q.schedule(1, [] {});

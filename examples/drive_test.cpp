@@ -46,7 +46,9 @@ int main(int argc, char** argv) {
                           {"KPI", "mean", "min", "max", "samples"});
   for (const char* kpi : {"nr_serving_rsrp_dbm", "nr_serving_rsrq_db",
                           "lte_serving_rsrp_dbm", "lte_serving_rsrq_db"}) {
-    const auto s = xcal.series(kpi).summarize();
+    const auto series = xcal.find(kpi);
+    if (!series) continue;  // e.g. no NR attach on a short walk
+    const auto s = series->get().summarize();
     kpis.add_row({kpi, measure::TextTable::num(s.mean(), 1),
                   measure::TextTable::num(s.min(), 1),
                   measure::TextTable::num(s.max(), 1),

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "app/iperf.h"
+#include "obs/obs.h"
 
 namespace fiveg::app {
 
@@ -145,9 +146,19 @@ struct VideoTelephony::Impl {
     const sim::Time display_at = sim->now() + config.costs.decode_render +
                                  config.costs.rtmp_relay;
     delay_s.add(sim::to_seconds(display_at - captured_at));
+    if (auto* m = obs::metrics()) {
+      m->digest("app.video.frame_delay_ms")
+          .observe(sim::to_millis(display_at - captured_at));
+    }
     if (last_delivery >= 0) {
       const sim::Time gap = sim->now() - last_delivery;
-      if (gap > 3 * (sim::kSecond / config.fps)) ++freezes;
+      if (gap > 3 * (sim::kSecond / config.fps)) {
+        ++freezes;
+        if (auto* m = obs::metrics()) {
+          m->counter("app.video.freezes").add();
+          m->digest("app.video.freeze_gap_ms").observe(sim::to_millis(gap));
+        }
+      }
     }
     last_delivery = sim->now();
   }

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "app/iperf.h"
+#include "obs/obs.h"
 
 namespace fiveg::app {
 
@@ -75,6 +76,11 @@ struct PageLoad : std::enable_shared_from_this<PageLoad> {
       const double download_s = sim::to_seconds(sim->now() - start);
       const sim::Time render = page.render_time;
       sim->schedule_in(render, [self, download_s, render] {
+        if (auto* m = obs::metrics()) {
+          m->digest("app.web.plt_s")
+              .observe(download_s + sim::to_seconds(render));
+          m->digest("app.web.download_s").observe(download_s);
+        }
         self->done(PltResult{download_s, sim::to_seconds(render)});
       });
       return;

@@ -65,11 +65,13 @@ class Fig4And5Experiment final : public Experiment {
         break;
       }
     }
-    if (t0 >= 0) {
+    const auto serving_series = log.find("nr_serving_rsrq_db");
+    const auto neighbor_series = log.find("nr_neighbor_rsrq_db");
+    if (t0 >= 0 && serving_series && neighbor_series) {
       TextTable t("Fig. 4 — RSRQ around a 5G-5G hand-off (trigger at 0 s)",
                   {"t (s)", "serving RSRQ (dB)", "best neighbour RSRQ (dB)"});
-      const auto& serving = log.series("nr_serving_rsrq_db");
-      const auto& neighbor = log.series("nr_neighbor_rsrq_db");
+      const measure::TimeSeries& serving = serving_series->get();
+      const measure::TimeSeries& neighbor = neighbor_series->get();
       for (sim::Time dt = -6 * sim::kSecond; dt <= 6 * sim::kSecond;
            dt += sim::kSecond) {
         const auto s = serving.summarize(t0 + dt, t0 + dt + sim::kSecond);

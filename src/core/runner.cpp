@@ -258,9 +258,85 @@ void write_snapshot_object(measure::JsonWriter& w,
         w.kv(s.name + ".p50", s.p50);
         w.kv(s.name + ".p99", s.p99);
         break;
+      case obs::MetricSnapshot::Kind::kDigest:
+        w.kv(s.name + ".count", s.count);
+        w.kv(s.name + ".mean", s.value);
+        w.kv(s.name + ".min", s.min);
+        w.kv(s.name + ".max", s.max);
+        w.kv(s.name + ".p05", s.p05);
+        w.kv(s.name + ".p25", s.p25);
+        w.kv(s.name + ".p50", s.p50);
+        w.kv(s.name + ".p75", s.p75);
+        w.kv(s.name + ".p90", s.p90);
+        w.kv(s.name + ".p95", s.p95);
+        w.kv(s.name + ".p99", s.p99);
+        break;
     }
   }
   w.end_object();
+}
+
+void write_bins_array(
+    measure::JsonWriter& w,
+    const std::vector<std::pair<std::int32_t, std::uint64_t>>& bins) {
+  w.begin_array();
+  for (const auto& [key, count] : bins) {
+    w.begin_array();
+    w.value(static_cast<std::int64_t>(key));
+    w.value(count);
+    w.end_array();
+  }
+  w.end_array();
+}
+
+// The v3 additions: full bucket payloads per histogram/digest, so external
+// consumers (fiveg_report, notebooks) can rebuild distributions instead of
+// settling for the flat percentile keys.
+void write_histograms_object(measure::JsonWriter& w,
+                             const std::vector<obs::MetricSnapshot>& snaps) {
+  w.begin_object();
+  for (const obs::MetricSnapshot& s : snaps) {
+    if (s.kind != obs::MetricSnapshot::Kind::kHistogram) continue;
+    w.key(s.name);
+    w.begin_object();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.key("log2_buckets");
+    write_bins_array(w, s.bins);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+void write_digests_object(measure::JsonWriter& w,
+                          const std::vector<obs::MetricSnapshot>& snaps) {
+  w.begin_object();
+  for (const obs::MetricSnapshot& s : snaps) {
+    if (s.kind != obs::MetricSnapshot::Kind::kDigest) continue;
+    w.key(s.name);
+    w.begin_object();
+    w.kv("count", s.count);
+    w.kv("sum", s.sum);
+    w.kv("min", s.min);
+    w.kv("max", s.max);
+    w.kv("zero", s.zero_count);
+    w.key("bins");
+    write_bins_array(w, s.bins);
+    w.key("neg_bins");
+    write_bins_array(w, s.neg_bins);
+    w.end_object();
+  }
+  w.end_object();
+}
+
+bool has_kind(const std::vector<obs::MetricSnapshot>& snaps,
+              obs::MetricSnapshot::Kind kind) {
+  for (const obs::MetricSnapshot& s : snaps) {
+    if (s.kind == kind) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -269,7 +345,7 @@ void write_json(const RunSummary& summary, std::ostream& os,
                 bool include_timing) {
   measure::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema", "fiveg-runall/v2");
+  w.kv("schema", "fiveg-runall/v3");
   w.key("experiments");
   w.begin_array();
   for (const ExperimentResult& r : summary.results) {
@@ -301,6 +377,14 @@ void write_json(const RunSummary& summary, std::ostream& os,
     w.end_array();
     w.key("counters");
     write_snapshot_object(w, r.counters);
+    if (has_kind(r.counters, obs::MetricSnapshot::Kind::kHistogram)) {
+      w.key("histograms");
+      write_histograms_object(w, r.counters);
+    }
+    if (has_kind(r.counters, obs::MetricSnapshot::Kind::kDigest)) {
+      w.key("digests");
+      write_digests_object(w, r.counters);
+    }
     if (include_timing && !r.profile.empty()) {
       w.key("profile");
       write_snapshot_object(w, r.profile);
@@ -357,6 +441,14 @@ void write_snapshot_lines(const std::vector<obs::MetricSnapshot>& snaps,
            << " p50=" << measure::JsonWriter::number(s.p50)
            << " p99=" << measure::JsonWriter::number(s.p99)
            << " max=" << measure::JsonWriter::number(s.max);
+        break;
+      case obs::MetricSnapshot::Kind::kDigest:
+        os << ": count=" << s.count << " mean="
+           << measure::JsonWriter::number(s.value)
+           << " p05=" << measure::JsonWriter::number(s.p05)
+           << " p50=" << measure::JsonWriter::number(s.p50)
+           << " p95=" << measure::JsonWriter::number(s.p95)
+           << " p99=" << measure::JsonWriter::number(s.p99);
         break;
     }
     os << "\n";

@@ -68,9 +68,10 @@ class Runner {
 /// timing is printed here).
 void write_text(const RunSummary& summary, std::ostream& os);
 
-/// Emits the machine-readable JSON document (schema "fiveg-runall/v2").
+/// Emits the machine-readable JSON document (schema "fiveg-runall/v3").
 /// Each experiment carries a flat `counters` object (deterministic kSim
-/// metrics) and, when `include_timing` is on, a `profile` object (kWall
+/// metrics), optional `histograms` / `digests` objects with full bucket
+/// payloads, and, when `include_timing` is on, a `profile` object (kWall
 /// metrics). `include_timing` off drops every wall-clock field so two runs
 /// at the same seed compare byte-identical regardless of parallelism.
 void write_json(const RunSummary& summary, std::ostream& os,

@@ -73,6 +73,29 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
   // Simulator, so timestamps here are the loop's own simulated clock.
   obs::Tracer* tracer = obs::tracer();
   obs::MetricsRegistry* reg = obs::metrics();
+  // Every replay restarts the loop clock at 0, so each gets its own
+  // counter track ("energy.draw_mw", "energy.draw_mw#1", ...): overlaying
+  // policy comparisons on one track would zigzag the viewer and violate
+  // the per-track time monotonicity that fiveg_trace_check enforces. The
+  // replay ordinal comes from the registry's energy.replays counter
+  // (incremented at the end of each replay), keeping the name
+  // deterministic for any --jobs value.
+  std::string draw_track = "energy.draw_mw";
+  if (reg != nullptr) {
+    const std::uint64_t n = reg->counter("energy.replays").value();
+    if (n > 0) draw_track += "#" + std::to_string(n);
+  }
+  // Per-phase instantaneous draw digests: the replay loop observes every
+  // fixed step, so these hold the full draw distribution per RRC phase.
+  obs::Digest* draw_d[3] = {nullptr, nullptr, nullptr};
+  if (reg != nullptr) {
+    draw_d[static_cast<int>(Phase::kIdle)] =
+        &reg->digest("energy.draw_mw", {{"phase", "idle"}});
+    draw_d[static_cast<int>(Phase::kPromoting)] =
+        &reg->digest("energy.draw_mw", {{"phase", "promoting"}});
+    draw_d[static_cast<int>(Phase::kConnected)] =
+        &reg->digest("energy.draw_mw", {{"phase", "connected"}});
+  }
   sim::Time residency_idle = 0;
   sim::Time residency_promoting = 0;
   sim::Time residency_connected = 0;
@@ -225,6 +248,7 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
       }
     }
 
+    if (reg != nullptr) draw_d[static_cast<int>(phase)]->observe(draw_mw);
     joules += draw_mw / 1000.0 * sim::to_seconds(dt);
     sample_acc_mw += draw_mw;
     ++sample_count;
@@ -232,7 +256,7 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
       const double mean_mw = sample_acc_mw / sample_count;
       result.power_trace_mw.add(t, mean_mw);
       if (tracer != nullptr) {
-        tracer->counter(t, "energy.draw_mw", "energy", mean_mw);
+        tracer->counter(t, draw_track, "energy", mean_mw);
       }
       sample_acc_mw = 0.0;
       sample_count = 0;
@@ -261,6 +285,14 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
     reg->counter("energy.rrc_residency_ms.connected")
         .add(ms(residency_connected));
     reg->counter("energy.drx_transitions").add(drx_transitions);
+    // Per-replay residency distribution (one observation per replay call,
+    // so multi-replay experiments get percentiles across replays).
+    reg->digest("energy.rrc_residency_ms", {{"phase", "idle"}})
+        .observe(sim::to_millis(residency_idle));
+    reg->digest("energy.rrc_residency_ms", {{"phase", "promoting"}})
+        .observe(sim::to_millis(residency_promoting));
+    reg->digest("energy.rrc_residency_ms", {{"phase", "connected"}})
+        .observe(sim::to_millis(residency_connected));
   }
 
   result.radio_joules = joules;

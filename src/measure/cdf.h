@@ -21,7 +21,12 @@ class Cdf {
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
 
   /// Value below which `q` (in [0,1]) of the mass lies, by linear
-  /// interpolation between order statistics. Precondition: !empty().
+  /// interpolation between order statistics (the "type 7" convention:
+  /// position q*(n-1) over the sorted samples). Pinned endpoints:
+  /// quantile(0) is the sample minimum and quantile(1) the sample maximum
+  /// — exactly, with no interpolation or extrapolation — and q outside
+  /// [0,1] is clamped to those endpoints. A single-sample CDF returns
+  /// that sample for every q. Throws std::logic_error when empty().
   [[nodiscard]] double quantile(double q) const;
 
   /// Fraction of samples <= x, in [0,1].

@@ -26,7 +26,9 @@ void write_csv(std::ostream& os, const std::string& name,
 void write_csv(std::ostream& os, const KpiLogger& log) {
   os << "kpi,t_seconds,value\n";
   for (const std::string& name : log.kpi_names()) {
-    for (const TimePoint& p : log.series(name).points()) {
+    const auto series = log.find(name);
+    if (!series) continue;  // kpi_names() only returns logged KPIs
+    for (const TimePoint& p : series->get().points()) {
       os << csv_escape(name) << "," << sim::to_seconds(p.at) << ","
          << p.value << "\n";
     }

@@ -12,6 +12,13 @@ void KpiLogger::log_event(sim::Time at, std::string type, std::string detail) {
   events_.push_back({at, std::move(type), std::move(detail)});
 }
 
+std::optional<std::reference_wrapper<const TimeSeries>> KpiLogger::find(
+    const std::string& kpi) const {
+  const auto it = series_.find(kpi);
+  if (it == series_.end()) return std::nullopt;
+  return std::cref(it->second);
+}
+
 const TimeSeries& KpiLogger::series(const std::string& kpi) const {
   static const TimeSeries kEmpty;
   const auto it = series_.find(kpi);

@@ -3,7 +3,9 @@
 // control-plane signalling events (RRC reconfigurations, hand-off legs).
 #pragma once
 
+#include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,9 +30,15 @@ class KpiLogger {
   /// Appends a signalling event.
   void log_event(sim::Time at, std::string type, std::string detail = {});
 
+  /// Series for one KPI, or nothing if that KPI was never logged.
+  /// Preferred over series(): the empty case is explicit, and the
+  /// reference (when present) always points into THIS logger.
+  [[nodiscard]] std::optional<std::reference_wrapper<const TimeSeries>> find(
+      const std::string& kpi) const;
+
   /// Series for one KPI.
   ///
-  /// Footgun to be aware of: a KPI that was never logged returns a
+  /// DEPRECATED in favour of find(): a KPI that was never logged returns a
   /// reference to a single shared immutable empty series, NOT a slot in
   /// this logger — so `&logger.series("typo") == &other.series("typo")`,
   /// and the reference stays valid after the logger dies. Never cast away

@@ -28,10 +28,14 @@ Link::Link(sim::Simulator* simulator, Config config, PacketSink* sink)
   }
   tracer_ = obs::tracer();
   if (auto* m = obs::metrics()) {
-    drops_ctr_ = &m->counter("net.queue.drops." + config_.name);
-    queue_hwm_ = &m->gauge("net.queue.hwm_bytes." + config_.name);
+    // The link name is a proper dimension, not a name suffix: canonical
+    // `net.queue.drops{link=ran-nr}` groups all links under one KPI family.
+    drops_ctr_ = &m->counter("net.queue.drops", {{"link", config_.name}});
+    queue_hwm_ = &m->gauge("net.queue.hwm_bytes", {{"link", config_.name}});
     if (!codel_) {
-      sojourn_ms_ = &m->histogram("net.queue.sojourn_ms." + config_.name);
+      sojourn_ms_ =
+          &m->histogram("net.queue.sojourn_ms", {{"link", config_.name}});
+      sojourn_d_ = &m->digest("net.queue.sojourn_ms", {{"link", config_.name}});
     }
   }
 }
@@ -96,7 +100,9 @@ void Link::try_transmit() {
   } else {
     p = queue_.pop();
     if (sojourn_ms_ != nullptr && !enqueue_at_.empty()) {
-      sojourn_ms_->observe(sim::to_millis(sim_->now() - enqueue_at_.front()));
+      const double sojourn = sim::to_millis(sim_->now() - enqueue_at_.front());
+      sojourn_ms_->observe(sojourn);
+      if (sojourn_d_ != nullptr) sojourn_d_->observe(sojourn);
       enqueue_at_.pop_front();
     }
   }

@@ -84,6 +84,7 @@ class Link {
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* drops_ctr_ = nullptr;
   obs::Histogram* sojourn_ms_ = nullptr;
+  obs::Digest* sojourn_d_ = nullptr;
   obs::Gauge* queue_hwm_ = nullptr;
   std::deque<sim::Time> enqueue_at_;
   // Deliveries never reorder (RLC-style in-order delivery): a packet held

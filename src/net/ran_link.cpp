@@ -48,13 +48,18 @@ Link::Config make_ran_link_config(const RanLinkOptions& options,
   obs::Tracer* tracer = obs::tracer();
   obs::Histogram* attempts_h = nullptr;
   obs::Counter* retx_blocks = nullptr;
+  obs::Digest* attempts_d = nullptr;
+  obs::Digest* extra_delay_d = nullptr;
+  const char* rat_name = options.rat == radio::Rat::kNr ? "nr" : "lte";
   if (auto* m = obs::metrics()) {
     attempts_h = &m->histogram("ran.harq.attempts");
     retx_blocks = &m->counter("ran.harq.retx_blocks");
+    attempts_d = &m->digest("ran.harq.attempts", {{"rat", rat_name}});
+    extra_delay_d = &m->digest("ran.extra_delay_ms", {{"rat", rat_name}});
   }
-  const char* rat_name = options.rat == radio::Rat::kNr ? "nr" : "lte";
   cfg.extra_delay_fn = [harq, shared_rng, jitter_span, tracer, attempts_h,
-                        retx_blocks, rat_name](const Packet& p) -> sim::Time {
+                        retx_blocks, attempts_d, extra_delay_d,
+                        rat_name](const Packet& p) -> sim::Time {
     // Slot-alignment wait (uniform over the pattern span).
     sim::Time extra = shared_rng->uniform_int(0, jitter_span);
     const double size_scale = std::min(1.0, p.size_bytes / 1500.0);
@@ -78,6 +83,10 @@ Link::Config make_ran_link_config(const RanLinkOptions& options,
       }
     }
     if (attempts_h != nullptr) attempts_h->observe(attempts);
+    if (attempts_d != nullptr) attempts_d->observe(attempts);
+    if (extra_delay_d != nullptr) {
+      extra_delay_d->observe(sim::to_millis(extra));
+    }
     return extra;
   };
   return cfg;

@@ -1,0 +1,86 @@
+#include "obs/digest.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fiveg::obs {
+
+namespace {
+
+// gamma = (1+a)/(1-a); keys are ceil(log_gamma |v|).
+const double kGamma = (1.0 + Digest::kAlpha) / (1.0 - Digest::kAlpha);
+const double kInvLogGamma = 1.0 / std::log(kGamma);
+// Key span that covers every double magnitude in [kZeroEpsilon, 1e300];
+// clamping keeps extreme outliers finite instead of overflowing the key.
+constexpr std::int32_t kMaxKey = 40000;
+
+}  // namespace
+
+std::int32_t Digest::bucket_key(double magnitude) noexcept {
+  const double k = std::ceil(std::log(magnitude) * kInvLogGamma);
+  if (k >= kMaxKey) return kMaxKey;
+  if (k <= -kMaxKey) return -kMaxKey;
+  return static_cast<std::int32_t>(k);
+}
+
+double Digest::bucket_value(std::int32_t key) noexcept {
+  // Midpoint of (gamma^(key-1), gamma^key]: relative error <= kAlpha.
+  return 2.0 * std::pow(kGamma, key) / (kGamma + 1.0);
+}
+
+void Digest::observe(double v) noexcept {
+  if (std::isnan(v)) return;
+  ++count_;
+  sum_ += v;
+  if (v < min_) min_ = v;
+  if (v > max_) max_ = v;
+  const double mag = std::abs(v);
+  if (mag < kZeroEpsilon) {
+    ++zero_;
+  } else if (v > 0.0) {
+    ++pos_[bucket_key(mag)];
+  } else {
+    ++neg_[bucket_key(mag)];
+  }
+}
+
+void Digest::merge(const Digest& other) {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  zero_ += other.zero_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (const auto& [k, c] : other.pos_) pos_[k] += c;
+  for (const auto& [k, c] : other.neg_) neg_[k] += c;
+}
+
+double Digest::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Pinned endpoints (same convention as measure::Cdf): the extremes are
+  // tracked exactly, so don't settle for a bucket midpoint there.
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  const auto clamp_range = [this](double v) noexcept {
+    return std::clamp(v, min_, max_);
+  };
+  std::uint64_t seen = 0;
+  // Ascending value order: most-negative first (negative bins by
+  // descending magnitude key), then zeros, then positives ascending.
+  for (auto it = neg_.rbegin(); it != neg_.rend(); ++it) {
+    seen += it->second;
+    if (seen > rank) return clamp_range(-bucket_value(it->first));
+  }
+  seen += zero_;
+  if (seen > rank) return clamp_range(0.0);
+  for (const auto& [k, c] : pos_) {
+    seen += c;
+    if (seen > rank) return clamp_range(bucket_value(k));
+  }
+  return max();
+}
+
+}  // namespace fiveg::obs

@@ -1,0 +1,81 @@
+// Streaming quantile digest with a fixed relative-error guarantee, the
+// distribution-shaped sibling of obs::Histogram. Buckets are logarithmic
+// with ratio gamma = (1+a)/(1-a) for accuracy a = 1% (the DDSketch
+// construction): any reported quantile lies within 1% of the true sample
+// value. Bucket counts are a pure function of the observed multiset — no
+// reservoirs, no interpolation state — so two runs that observe the same
+// values in any order serialise byte-identically, which is what lets the
+// fiveg-runall determinism tier diff digest exports across --jobs values.
+//
+// Negative values land in a mirrored bucket map and near-zero values in a
+// dedicated zero bucket, so signed KPIs (RSRP in dBm, RSRQ in dB) keep the
+// same error bound as latencies and rates.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+
+namespace fiveg::obs {
+
+/// Fixed-relative-error streaming quantile sketch (mergeable, ordered
+/// deterministically). Memory is O(distinct buckets touched): with 1%
+/// accuracy a series spanning six decades needs ~700 buckets.
+class Digest {
+ public:
+  /// Relative accuracy: quantiles are within this fraction of the true
+  /// order statistic (for |v| >= kZeroEpsilon).
+  static constexpr double kAlpha = 0.01;
+  /// Magnitudes below this collapse into the zero bucket.
+  static constexpr double kZeroEpsilon = 1e-12;
+
+  /// Adds one observation. NaN is ignored.
+  void observe(double v) noexcept;
+
+  /// Adds every bucket of `other` (exact: the merge of the two multisets).
+  void merge(const Digest& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+  }
+
+  /// Value at quantile q in [0,1] (rank floor(q*(count-1)) over the sorted
+  /// multiset), within kAlpha relative error, clamped to [min, max]. The
+  /// endpoints are pinned exactly — quantile(0) == min(), quantile(1) ==
+  /// max(), the measure::Cdf convention — and q outside [0,1] is clamped.
+  /// Returns 0 for an empty digest.
+  [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Export surface for the JSON emitters: sparse (bucket key, count)
+  /// pairs. A positive value v maps to key ceil(log(v) / log(gamma));
+  /// negative values mirror into `negative_bins` by magnitude.
+  [[nodiscard]] const std::map<std::int32_t, std::uint64_t>& positive_bins()
+      const noexcept {
+    return pos_;
+  }
+  [[nodiscard]] const std::map<std::int32_t, std::uint64_t>& negative_bins()
+      const noexcept {
+    return neg_;
+  }
+  [[nodiscard]] std::uint64_t zero_count() const noexcept { return zero_; }
+
+  /// Midpoint value represented by bucket `key` (positive side).
+  [[nodiscard]] static double bucket_value(std::int32_t key) noexcept;
+  /// Bucket key for a positive magnitude.
+  [[nodiscard]] static std::int32_t bucket_key(double magnitude) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  std::uint64_t zero_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+  std::map<std::int32_t, std::uint64_t> pos_;
+  std::map<std::int32_t, std::uint64_t> neg_;
+};
+
+}  // namespace fiveg::obs

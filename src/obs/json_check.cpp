@@ -4,8 +4,11 @@
 #include <cmath>
 #include <cstdlib>
 #include <istream>
+#include <map>
 #include <set>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 namespace fiveg::obs {
 
@@ -340,6 +343,13 @@ TraceCheck check_chrome_trace(std::string_view text) {
 
   std::set<std::string> cats;
   std::set<std::string> procs;
+  // Counter ('C') samples must be time-monotonic per (pid, tid, name)
+  // track — Perfetto silently reorders or drops violators. Metadata must
+  // be unique per target: a second process_name for one pid (or
+  // thread_name for one (pid, tid)) means two writers raced on the track.
+  std::map<std::tuple<double, double, std::string>, double> counter_last_ts;
+  std::set<double> named_pids;
+  std::set<std::pair<double, double>> named_tids;
   for (const JsonValue& e : events->array) {
     if (!e.is(JsonValue::Type::kObject)) {
       check.error = "trace event is not an object";
@@ -354,10 +364,26 @@ TraceCheck check_chrome_trace(std::string_view text) {
       check.error = "trace event missing ph/name/pid";
       return check;
     }
+    const JsonValue* tid = e.get("tid");
+    const double tid_num =
+        tid != nullptr && tid->is(JsonValue::Type::kNumber) ? tid->number
+                                                            : 0.0;
     if (ph->string == "M") {
       if (name->string == "process_name") {
+        if (!named_pids.insert(pid->number).second) {
+          check.error = "duplicate process_name metadata for pid " +
+                        std::to_string(pid->number);
+          return check;
+        }
         if (const JsonValue* args = e.get("args")) {
           if (const JsonValue* n = args->get("name")) procs.insert(n->string);
+        }
+      } else if (name->string == "thread_name") {
+        if (!named_tids.insert({pid->number, tid_num}).second) {
+          check.error = "duplicate thread_name metadata for pid " +
+                        std::to_string(pid->number) + " tid " +
+                        std::to_string(tid_num);
+          return check;
         }
       }
       continue;
@@ -366,6 +392,18 @@ TraceCheck check_chrome_trace(std::string_view text) {
     if (ts == nullptr || !ts->is(JsonValue::Type::kNumber)) {
       check.error = "trace event missing ts";
       return check;
+    }
+    if (ph->string == "C") {
+      const auto key = std::make_tuple(pid->number, tid_num, name->string);
+      const auto it = counter_last_ts.find(key);
+      if (it != counter_last_ts.end() && ts->number < it->second) {
+        check.error = "counter track '" + name->string +
+                      "' not time-monotonic (ts " +
+                      std::to_string(ts->number) + " after " +
+                      std::to_string(it->second) + ")";
+        return check;
+      }
+      counter_last_ts[key] = ts->number;
     }
     ++check.event_count;
     if (const JsonValue* cat = e.get("cat")) {

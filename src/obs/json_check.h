@@ -50,7 +50,9 @@ struct TraceCheck {
 };
 
 /// Parses and validates: top-level object, "traceEvents" array, every event
-/// an object with string "ph" and the fields each phase requires.
+/// an object with string "ph" and the fields each phase requires. Also
+/// enforces counter ('C') sample time-monotonicity per (pid, tid, name)
+/// track and uniqueness of process_name / thread_name metadata per target.
 [[nodiscard]] TraceCheck check_chrome_trace(std::string_view text);
 
 /// Convenience: reads the whole stream, then checks.

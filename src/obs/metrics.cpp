@@ -5,6 +5,30 @@
 
 namespace fiveg::obs {
 
+std::string labeled(std::string_view name,
+                    std::initializer_list<Label> labels) {
+  // No labels -> the plain name: "x" and labeled("x", {}) must be the
+  // same series, not "x" vs "x{}".
+  if (labels.size() == 0) return std::string(name);
+  std::vector<const Label*> sorted;
+  sorted.reserve(labels.size());
+  for (const Label& l : labels) sorted.push_back(&l);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label* a, const Label* b) { return a->first < b->first; });
+  std::string out(name);
+  out += '{';
+  bool first = true;
+  for (const Label* l : sorted) {
+    if (!first) out += ',';
+    first = false;
+    out += l->first;
+    out += '=';
+    out += l->second;
+  }
+  out += '}';
+  return out;
+}
+
 int Histogram::bucket_of(double v) noexcept {
   if (!(v > 0.0)) return 0;  // non-positive and NaN
   int exp = 0;
@@ -67,6 +91,10 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
                                                           clock);
 }
 
+Digest& MetricsRegistry::digest(std::string_view name, MetricClock clock) {
+  return find_or_create<decltype(digests_), Digest>(digests_, name, clock);
+}
+
 std::vector<MetricSnapshot> MetricsRegistry::snapshot(
     MetricClock clock) const {
   std::vector<MetricSnapshot> out;
@@ -104,6 +132,36 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot(
     s.min = slot.metric.min();
     s.p50 = slot.metric.quantile(0.50);
     s.p99 = slot.metric.quantile(0.99);
+    const auto& buckets = slot.metric.buckets();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t c = buckets[static_cast<std::size_t>(i)];
+      if (c != 0) s.bins.emplace_back(i, c);
+    }
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, slot] : digests_) {
+    if (slot.clock != clock) continue;
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = MetricSnapshot::Kind::kDigest;
+    s.clock = slot.clock;
+    s.value = slot.metric.mean();
+    s.count = slot.metric.count();
+    s.sum = slot.metric.sum();
+    s.min = slot.metric.min();
+    s.max = slot.metric.max();
+    s.p05 = slot.metric.quantile(0.05);
+    s.p25 = slot.metric.quantile(0.25);
+    s.p50 = slot.metric.quantile(0.50);
+    s.p75 = slot.metric.quantile(0.75);
+    s.p90 = slot.metric.quantile(0.90);
+    s.p95 = slot.metric.quantile(0.95);
+    s.p99 = slot.metric.quantile(0.99);
+    s.zero_count = slot.metric.zero_count();
+    s.bins.assign(slot.metric.positive_bins().begin(),
+                  slot.metric.positive_bins().end());
+    s.neg_bins.assign(slot.metric.negative_bins().begin(),
+                      slot.metric.negative_bins().end());
     out.push_back(std::move(s));
   }
   // The three maps are each sorted; merge-sort the concatenation by name

@@ -6,18 +6,22 @@
 //
 // Metrics are split by clock domain: kSim metrics are pure functions of the
 // simulation (byte-identical across --jobs values and part of the
-// fiveg-runall/v2 `counters` object), while kWall metrics carry wall-clock
+// fiveg-runall/v3 `counters` object), while kWall metrics carry wall-clock
 // profiling data and are excluded from determinism diffs, exactly like
 // ExperimentResult::wall_ms.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "obs/digest.h"
 
 namespace fiveg::obs {
 
@@ -77,8 +81,15 @@ class Histogram {
   /// upper bound of the bucket holding the q-th observation.
   [[nodiscard]] double quantile(double q) const noexcept;
 
- private:
   static constexpr int kBuckets = 64;
+
+  /// Raw bucket counts; bucket i covers [2^(i-32), 2^(i-31)).
+  [[nodiscard]] const std::array<std::uint64_t, kBuckets>& buckets()
+      const noexcept {
+    return buckets_;
+  }
+
+ private:
   // Bucket i covers [2^(i-32), 2^(i-31)); values <= 0 land in bucket 0.
   [[nodiscard]] static int bucket_of(double v) noexcept;
 
@@ -89,25 +100,50 @@ class Histogram {
   std::array<std::uint64_t, kBuckets> buckets_{};
 };
 
+/// One metric dimension, e.g. {"rat", "nr"} or {"cell", "72"}. Keys and
+/// values must not contain '{', '}', '=' or ',' (they are embedded into the
+/// canonical metric name).
+using Label = std::pair<std::string_view, std::string>;
+
+/// Canonical name for a labeled metric: `name{k1=v1,k2=v2}` with labels
+/// sorted by key, so the same dimension set always produces the same
+/// registry entry regardless of call-site order. Dimensional metrics are
+/// plain registry entries under their canonical name — handles, snapshots
+/// and the JSON emitters all work on them unchanged.
+[[nodiscard]] std::string labeled(std::string_view name,
+                                  std::initializer_list<Label> labels);
+
 /// Flattened view of one metric, for reports and the JSON emitter. The
 /// emitters expand one snapshot into one or more "name" / "name.max" /
 /// "name.p99"-style flat keys.
 struct MetricSnapshot {
-  enum class Kind { kCounter, kGauge, kHistogram };
+  enum class Kind { kCounter, kGauge, kHistogram, kDigest };
 
   std::string name;
   Kind kind = Kind::kCounter;
   MetricClock clock = MetricClock::kSim;
-  // kCounter / kGauge current value; histogram mean.
+  // kCounter / kGauge current value; histogram/digest mean.
   double value = 0.0;
-  // kGauge high-water / kHistogram max.
+  // kGauge high-water / kHistogram / kDigest max.
   double max = 0.0;
-  // kHistogram only.
+  // kHistogram / kDigest only.
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
   double p50 = 0.0;
   double p99 = 0.0;
+  // kDigest only: the finer percentile ladder reports are built from.
+  double p05 = 0.0;
+  double p25 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  // Bucket payloads as sparse (key, count) pairs: kHistogram fills `bins`
+  // with its non-empty log2 buckets; kDigest fills `bins`/`neg_bins` with
+  // its log-gamma buckets plus `zero_count`.
+  std::vector<std::pair<std::int32_t, std::uint64_t>> bins;
+  std::vector<std::pair<std::int32_t, std::uint64_t>> neg_bins;
+  std::uint64_t zero_count = 0;
 };
 
 /// Registry of named metrics for one experiment run. Handle references stay
@@ -123,13 +159,36 @@ class MetricsRegistry {
   Gauge& gauge(std::string_view name, MetricClock clock = MetricClock::kSim);
   Histogram& histogram(std::string_view name,
                        MetricClock clock = MetricClock::kSim);
+  Digest& digest(std::string_view name, MetricClock clock = MetricClock::kSim);
+
+  /// Dimensional variants: `counter("x", {{"rat", "nr"}})` is exactly
+  /// `counter(labeled("x", {{"rat", "nr"}}))`. Fetch handles once per
+  /// label combination — the canonical-name build allocates.
+  Counter& counter(std::string_view name, std::initializer_list<Label> labels,
+                   MetricClock clock = MetricClock::kSim) {
+    return counter(labeled(name, labels), clock);
+  }
+  Gauge& gauge(std::string_view name, std::initializer_list<Label> labels,
+               MetricClock clock = MetricClock::kSim) {
+    return gauge(labeled(name, labels), clock);
+  }
+  Histogram& histogram(std::string_view name,
+                       std::initializer_list<Label> labels,
+                       MetricClock clock = MetricClock::kSim) {
+    return histogram(labeled(name, labels), clock);
+  }
+  Digest& digest(std::string_view name, std::initializer_list<Label> labels,
+                 MetricClock clock = MetricClock::kSim) {
+    return digest(labeled(name, labels), clock);
+  }
 
   /// All metrics of one clock domain, sorted by (name, kind) so reports and
   /// JSON are byte-stable.
   [[nodiscard]] std::vector<MetricSnapshot> snapshot(MetricClock clock) const;
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return counters_.size() + gauges_.size() + histograms_.size();
+    return counters_.size() + gauges_.size() + histograms_.size() +
+           digests_.size();
   }
 
  private:
@@ -144,6 +203,7 @@ class MetricsRegistry {
   std::map<std::string, Slot<Counter>, std::less<>> counters_;
   std::map<std::string, Slot<Gauge>, std::less<>> gauges_;
   std::map<std::string, Slot<Histogram>, std::less<>> histograms_;
+  std::map<std::string, Slot<Digest>, std::less<>> digests_;
 };
 
 }  // namespace fiveg::obs

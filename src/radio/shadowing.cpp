@@ -17,11 +17,21 @@ double to_unit(std::uint64_t h) noexcept {
   return (static_cast<double>(h >> 11) + 1.0) / 9007199254740994.0;
 }
 
+double g_sigma_offset_db = 0.0;
+
 }  // namespace
+
+void set_shadowing_sigma_offset_db(double offset_db) noexcept {
+  g_sigma_offset_db = offset_db;
+}
+
+double shadowing_sigma_offset_db() noexcept { return g_sigma_offset_db; }
 
 ShadowingField::ShadowingField(std::uint64_t seed, double sigma_db,
                                double corr_dist_m)
-    : seed_(seed), sigma_db_(sigma_db), corr_dist_m_(corr_dist_m) {}
+    : seed_(seed),
+      sigma_db_(sigma_db + g_sigma_offset_db),
+      corr_dist_m_(corr_dist_m) {}
 
 double ShadowingField::node_value(std::int64_t ix,
                                   std::int64_t iy) const noexcept {

@@ -10,6 +10,14 @@
 
 namespace fiveg::radio {
 
+/// Test-only perturbation knob: every ShadowingField constructed while the
+/// offset is non-zero gets `sigma_db + offset`. Drift-detector tests use it
+/// to shift a radio-layer input without touching scenario code; production
+/// paths never set it. Not thread-safe — set it before spawning workers (or
+/// run --jobs 1) and restore it to 0 afterwards.
+void set_shadowing_sigma_offset_db(double offset_db) noexcept;
+[[nodiscard]] double shadowing_sigma_offset_db() noexcept;
+
 /// Deterministic correlated shadowing field.
 class ShadowingField {
  public:

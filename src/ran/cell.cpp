@@ -2,9 +2,39 @@
 
 #include <cmath>
 
+#include "obs/obs.h"
 #include "radio/mcs.h"
 
 namespace fiveg::ran {
+
+namespace {
+
+// Serving-cell KPI digests, labeled by RAT. Observing only the selected
+// cell (not every candidate) keeps the cost bounded by one digest insert
+// per best_cell() call; the canonical names are built once.
+void observe_serving_cell(const radio::CarrierConfig& carrier,
+                          const CellMeasurement& m) {
+  obs::MetricsRegistry* reg = obs::metrics();
+  if (reg == nullptr || m.cell == nullptr) return;
+  static const std::string kRsrpNr =
+      obs::labeled("radio.rsrp_dbm", {{"rat", "nr"}});
+  static const std::string kRsrpLte =
+      obs::labeled("radio.rsrp_dbm", {{"rat", "lte"}});
+  static const std::string kSinrNr =
+      obs::labeled("radio.sinr_db", {{"rat", "nr"}});
+  static const std::string kSinrLte =
+      obs::labeled("radio.sinr_db", {{"rat", "lte"}});
+  static const std::string kCqiNr = obs::labeled("radio.cqi", {{"rat", "nr"}});
+  static const std::string kCqiLte =
+      obs::labeled("radio.cqi", {{"rat", "lte"}});
+  const bool nr = carrier.rat == radio::Rat::kNr;
+  reg->digest(nr ? kRsrpNr : kRsrpLte).observe(m.rsrp_dbm);
+  reg->digest(nr ? kSinrNr : kSinrLte).observe(m.sinr_db);
+  reg->digest(nr ? kCqiNr : kCqiLte)
+      .observe(static_cast<double>(radio::cqi_from_sinr(m.sinr_db)));
+}
+
+}  // namespace
 
 bool CellMeasurement::in_coverage() const noexcept {
   return cell != nullptr && rsrp_dbm >= radio::kServiceRsrpFloorDbm;
@@ -49,6 +79,7 @@ CellMeasurement best_cell(const radio::RadioEnvironment& env,
        measure_cells(env, carrier, cells, ue, interferer_load)) {
     if (best.cell == nullptr || m.rsrp_dbm > best.rsrp_dbm) best = m;
   }
+  observe_serving_cell(carrier, best);
   return best;
 }
 

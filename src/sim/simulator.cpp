@@ -24,6 +24,20 @@ Simulator::Simulator()
   if (tracer_ != nullptr) {
     tracer_->set_clock([this] { return now_; }, this);
   }
+  // Experiments that run several simulated timelines (parameter sweeps,
+  // policy comparisons) restart time at 0 per Simulator, so each instance
+  // gets its own queue-depth counter track ("sim.queue_depth",
+  // "sim.queue_depth#1", ...) — one track mixing timelines would violate
+  // the per-track time monotonicity fiveg_trace_check enforces. The
+  // ordinal is the registry's sim.instances counter, deterministic for
+  // any --jobs value.
+  if (metrics_ != nullptr) {
+    obs::Counter& instances = metrics_->counter("sim.instances");
+    if (instances.value() > 0) {
+      depth_track_ = "sim.queue_depth#" + std::to_string(instances.value());
+    }
+    instances.add();
+  }
 }
 
 Simulator::~Simulator() {
@@ -74,7 +88,7 @@ void Simulator::observed_step(EventQueue::Popped& e) {
     if (e.label != nullptr) tracer_->instant(now_, e.label, "sim");
     const auto depth = static_cast<double>(queue_.size());
     if (depth != last_depth_traced_) {
-      tracer_->counter(now_, "sim.queue_depth", "sim", depth);
+      tracer_->counter(now_, depth_track_, "sim", depth);
       last_depth_traced_ = depth;
     }
   }

@@ -13,12 +13,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <string>
 
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
 namespace fiveg::obs {
 class Counter;
+class Digest;
 class Gauge;
 class Histogram;
 class MetricsRegistry;
@@ -124,6 +126,9 @@ class Simulator {
   obs::Gauge* depth_gauge_ = nullptr;
   std::map<const void*, LabelStats> label_stats_;
   double last_depth_traced_ = -1.0;
+  // Per-instance counter-track name; later instances in the same obs
+  // scope get a "#<ordinal>" suffix so timelines never share a track.
+  std::string depth_track_ = "sim.queue_depth";
 };
 
 }  // namespace fiveg::sim

@@ -21,6 +21,9 @@ TcpSender::TcpSender(sim::Simulator* simulator, TcpConfig config,
     retx_ctr_ = &m->counter("tcp.retransmissions");
     loss_ctr_ = &m->counter("tcp.loss_episodes");
     timeout_ctr_ = &m->counter("tcp.timeouts");
+    const std::string algo = to_string(config.algo);
+    rtt_d_ = &m->digest("tcp.rtt_ms", {{"algo", algo}});
+    rate_d_ = &m->digest("tcp.delivery_rate_mbps", {{"algo", algo}});
   }
   if (tracer_ != nullptr) {
     cwnd_track_ = "tcp.cwnd.flow" + std::to_string(flow_id_);
@@ -195,7 +198,13 @@ void TcpSender::on_ack(const net::Packet& ack) {
       first_sent_time_ = r.sent_at;
       in_flight_.pop_front();
     }
-    if (rtt_sample > 0) rtt_.add_sample(sim_->now(), rtt_sample);
+    if (rtt_sample > 0) {
+      rtt_.add_sample(sim_->now(), rtt_sample);
+      if (rtt_d_ != nullptr) rtt_d_->observe(sim::to_millis(rtt_sample));
+    }
+    if (rate_d_ != nullptr && rate_sample > 0.0) {
+      rate_d_->observe(rate_sample / 1e6);
+    }
 
     if (in_recovery_ && ack_seq >= recovery_point_) {
       in_recovery_ = false;

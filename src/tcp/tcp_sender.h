@@ -129,6 +129,8 @@ class TcpSender final : public net::PacketSink {
   obs::Counter* retx_ctr_ = nullptr;
   obs::Counter* loss_ctr_ = nullptr;
   obs::Counter* timeout_ctr_ = nullptr;
+  obs::Digest* rtt_d_ = nullptr;
+  obs::Digest* rate_d_ = nullptr;
   std::string cwnd_track_;       // per-flow counter-track name
   double last_cwnd_traced_ = -1.0;
   bool was_slow_start_ = true;

@@ -101,6 +101,69 @@ TEST(CdfTest, EmptyThrowsOnQuantile) {
   EXPECT_DOUBLE_EQ(c.fraction_below(1.0), 0.0);
 }
 
+TEST(CdfTest, SingleSampleReturnsItForEveryQuantile) {
+  Cdf c;
+  c.add(42.5);
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(c.quantile(q), 42.5);
+  }
+  EXPECT_DOUBLE_EQ(c.min(), 42.5);
+  EXPECT_DOUBLE_EQ(c.max(), 42.5);
+  EXPECT_DOUBLE_EQ(c.mean(), 42.5);
+}
+
+TEST(CdfTest, AllEqualSamplesAreDegenerate) {
+  Cdf c;
+  for (int i = 0; i < 100; ++i) c.add(-7.25);
+  for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    EXPECT_DOUBLE_EQ(c.quantile(q), -7.25);
+  }
+  EXPECT_DOUBLE_EQ(c.fraction_below(-7.25), 1.0);
+  EXPECT_DOUBLE_EQ(c.fraction_below(-7.26), 0.0);
+}
+
+// The pinned endpoint convention (see cdf.h): p0 == min and p100 == max
+// exactly, and out-of-range q clamps to them.
+TEST(CdfTest, EndpointConventionPinned) {
+  Cdf c({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(c.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(c.quantile(-3.0), 1.0);
+  EXPECT_DOUBLE_EQ(c.quantile(2.0), 5.0);
+  // Interior: type-7 position q*(n-1); q=0.375 -> position 1.5 -> 2.5.
+  EXPECT_DOUBLE_EQ(c.quantile(0.375), 2.5);
+}
+
+TEST(RunningStatsTest, SingleSample) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+  EXPECT_DOUBLE_EQ(s.sum(), 3.5);
+}
+
+TEST(RunningStatsTest, AllEqualSamplesHaveZeroVariance) {
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.add(11.0);
+  EXPECT_EQ(s.count(), 1000u);
+  EXPECT_DOUBLE_EQ(s.mean(), 11.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 11.0);
+  EXPECT_DOUBLE_EQ(s.max(), 11.0);
+}
+
+TEST(RunningStatsTest, MergeEmptyIntoEmpty) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
 TEST(CdfTest, CurveIsMonotone) {
   Cdf c;
   for (int i = 0; i < 500; ++i) c.add(std::cos(i) * 7);
@@ -200,6 +263,11 @@ TEST(KpiLoggerTest, SeriesAndEvents) {
   log.log_event(5 * kMillisecond, "A3_TRIGGER", "pci=226 -> pci=44");
   log.log_event(6 * kMillisecond, "NR_RACH_SUCCESS");
 
+  const auto rsrp = log.find("rsrp_dbm");
+  ASSERT_TRUE(rsrp.has_value());
+  EXPECT_EQ(rsrp->get().size(), 2u);
+  EXPECT_FALSE(log.find("unknown").has_value());
+  // Deprecated shared-empty-series accessor still works for old callers.
   EXPECT_EQ(log.series("rsrp_dbm").size(), 2u);
   EXPECT_EQ(log.series("unknown").size(), 0u);
   EXPECT_EQ(log.events().size(), 2u);

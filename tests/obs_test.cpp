@@ -5,7 +5,9 @@
 // hooks including trace determinism across identical runs.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -101,6 +103,116 @@ TEST(MetricsTest, ClockDomainIsFixedByFirstUse) {
   EXPECT_EQ(reg.snapshot(MetricClock::kWall).size(), 1u);
   EXPECT_EQ(reg.snapshot(MetricClock::kSim).size(), 0u);
   EXPECT_EQ(reg.counter("x").value(), 2u);
+}
+
+// --- Digest (DDSketch-style quantile sketch) ---
+
+TEST(DigestTest, QuantilesWithinRelativeErrorBound) {
+  Digest d;
+  // Uniform 1..10000: the true q-quantile (rank convention
+  // floor(q*(n-1))) is 1 + floor(q*9999).
+  for (int i = 1; i <= 10000; ++i) d.observe(static_cast<double>(i));
+  EXPECT_EQ(d.count(), 10000u);
+  for (double q : {0.01, 0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    const double truth = 1.0 + std::floor(q * 9999.0);
+    const double got = d.quantile(q);
+    EXPECT_LE(std::abs(got - truth), Digest::kAlpha * truth + 1e-9)
+        << "q=" << q << " got=" << got << " truth=" << truth;
+  }
+  // Endpoints clamp to the exact extremes, not bucket midpoints.
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.quantile(1.0), 10000.0);
+}
+
+TEST(DigestTest, HandlesNegativeZeroAndNan) {
+  Digest d;
+  d.observe(-50.0);
+  d.observe(-100.0);
+  d.observe(0.0);
+  d.observe(1e-15);  // below kZeroEpsilon: zero bucket
+  d.observe(25.0);
+  d.observe(std::numeric_limits<double>::quiet_NaN());  // ignored
+  EXPECT_EQ(d.count(), 5u);
+  EXPECT_EQ(d.zero_count(), 2u);
+  EXPECT_EQ(d.negative_bins().size(), 2u);
+  EXPECT_EQ(d.positive_bins().size(), 1u);
+  EXPECT_DOUBLE_EQ(d.min(), -100.0);
+  EXPECT_DOUBLE_EQ(d.max(), 25.0);
+  // Ordering across sign: q=0 hits the most negative value, the median
+  // lands in the zero bucket, high quantiles reach the positive side.
+  EXPECT_DOUBLE_EQ(d.quantile(0.0), -100.0);
+  EXPECT_LE(std::abs(d.quantile(0.25) - (-50.0)), 0.5 + 1e-9);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+  EXPECT_LE(std::abs(d.quantile(1.0) - 25.0), 1e-9);
+}
+
+TEST(DigestTest, EmptyDigestIsZeroed) {
+  const Digest d;
+  EXPECT_EQ(d.count(), 0u);
+  EXPECT_DOUBLE_EQ(d.min(), 0.0);
+  EXPECT_DOUBLE_EQ(d.max(), 0.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.5), 0.0);
+}
+
+TEST(DigestTest, InsertionOrderDoesNotChangeState) {
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i)
+    values.push_back(std::pow(1.13, static_cast<double>(i % 67)) -
+                     (i % 3 == 0 ? 30.0 : 0.0));
+  Digest forward;
+  for (double v : values) forward.observe(v);
+  Digest backward;
+  for (auto it = values.rbegin(); it != values.rend(); ++it)
+    backward.observe(*it);
+  EXPECT_EQ(forward.positive_bins(), backward.positive_bins());
+  EXPECT_EQ(forward.negative_bins(), backward.negative_bins());
+  EXPECT_EQ(forward.zero_count(), backward.zero_count());
+  EXPECT_DOUBLE_EQ(forward.sum(), backward.sum());
+}
+
+TEST(DigestTest, MergeMatchesSingleStreamExactly) {
+  Digest a;
+  Digest b;
+  Digest whole;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 0.1 * static_cast<double>(i) - 20.0;
+    (i % 2 == 0 ? a : b).observe(v);
+    whole.observe(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_EQ(a.positive_bins(), whole.positive_bins());
+  EXPECT_EQ(a.negative_bins(), whole.negative_bins());
+  EXPECT_EQ(a.zero_count(), whole.zero_count());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+  for (double q : {0.0, 0.1, 0.5, 0.9, 1.0})
+    EXPECT_DOUBLE_EQ(a.quantile(q), whole.quantile(q));
+}
+
+TEST(MetricsTest, DigestSnapshotCarriesPercentilesAndBins) {
+  MetricsRegistry reg;
+  Digest& d = reg.digest("lat_ms");
+  for (int i = 1; i <= 100; ++i) d.observe(static_cast<double>(i));
+  const auto snaps = reg.snapshot(MetricClock::kSim);
+  ASSERT_EQ(snaps.size(), 1u);
+  const MetricSnapshot& s = snaps[0];
+  EXPECT_EQ(s.kind, MetricSnapshot::Kind::kDigest);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_LE(std::abs(s.p50 - 50.0), Digest::kAlpha * 50.0 + 1.0);
+  EXPECT_LE(std::abs(s.p95 - 95.0), Digest::kAlpha * 95.0 + 1.0);
+  EXPECT_FALSE(s.bins.empty());
+}
+
+TEST(MetricsTest, LabeledNamesAreCanonical) {
+  // Keys are sorted, so label order at the call site cannot fork series.
+  EXPECT_EQ(labeled("x", {{"b", "2"}, {"a", "1"}}), "x{a=1,b=2}");
+  EXPECT_EQ(labeled("x", {}), "x");
+  MetricsRegistry reg;
+  reg.counter("hits", {{"rat", "nr"}}).add();
+  reg.counter(labeled("hits", {{"rat", "nr"}})).add();
+  EXPECT_EQ(reg.counter("hits{rat=nr}").value(), 2u);
 }
 
 // --- Tracer ring buffer ---
@@ -302,6 +414,66 @@ TEST(JsonCheckTest, TraceCheckRejectsMissingFields) {
       R"( "tid": 1, "cat": "sim", "s": "t"}]})");
   EXPECT_TRUE(ok.ok) << ok.error;
   EXPECT_EQ(ok.event_count, 1u);
+}
+
+TEST(JsonCheckTest, TraceCheckRejectsNonMonotonicCounterTrack) {
+  // Second sample on the same (pid, tid, name) counter track steps back in
+  // time — Perfetto would silently reorder or drop it.
+  const TraceCheck broken = check_chrome_trace(
+      R"({"traceEvents": [)"
+      R"({"name": "cwnd", "ph": "C", "ts": 10, "pid": 0, "tid": 1,)"
+      R"( "cat": "tcp", "args": {"value": 1.0}},)"
+      R"({"name": "cwnd", "ph": "C", "ts": 5, "pid": 0, "tid": 1,)"
+      R"( "cat": "tcp", "args": {"value": 2.0}}]})");
+  EXPECT_FALSE(broken.ok);
+  EXPECT_NE(broken.error.find("not time-monotonic"), std::string::npos)
+      << broken.error;
+
+  // Same timestamps on DIFFERENT tracks (distinct name / tid) are fine, as
+  // are repeated timestamps on one track.
+  const TraceCheck ok = check_chrome_trace(
+      R"({"traceEvents": [)"
+      R"({"name": "cwnd", "ph": "C", "ts": 10, "pid": 0, "tid": 1,)"
+      R"( "cat": "tcp", "args": {"value": 1.0}},)"
+      R"({"name": "rtt", "ph": "C", "ts": 5, "pid": 0, "tid": 1,)"
+      R"( "cat": "tcp", "args": {"value": 2.0}},)"
+      R"({"name": "cwnd", "ph": "C", "ts": 5, "pid": 0, "tid": 2,)"
+      R"( "cat": "tcp", "args": {"value": 3.0}},)"
+      R"({"name": "cwnd", "ph": "C", "ts": 10, "pid": 0, "tid": 1,)"
+      R"( "cat": "tcp", "args": {"value": 4.0}}]})");
+  EXPECT_TRUE(ok.ok) << ok.error;
+  EXPECT_EQ(ok.event_count, 4u);
+}
+
+TEST(JsonCheckTest, TraceCheckRejectsDuplicateMetadata) {
+  const TraceCheck dup_proc = check_chrome_trace(
+      R"({"traceEvents": [)"
+      R"({"name": "process_name", "ph": "M", "pid": 7,)"
+      R"( "args": {"name": "exp_a"}},)"
+      R"({"name": "process_name", "ph": "M", "pid": 7,)"
+      R"( "args": {"name": "exp_b"}}]})");
+  EXPECT_FALSE(dup_proc.ok);
+  EXPECT_NE(dup_proc.error.find("duplicate process_name"), std::string::npos)
+      << dup_proc.error;
+
+  const TraceCheck dup_thread = check_chrome_trace(
+      R"({"traceEvents": [)"
+      R"({"name": "thread_name", "ph": "M", "pid": 7, "tid": 1,)"
+      R"( "args": {"name": "sim"}},)"
+      R"({"name": "thread_name", "ph": "M", "pid": 7, "tid": 1,)"
+      R"( "args": {"name": "ran"}}]})");
+  EXPECT_FALSE(dup_thread.ok);
+  EXPECT_NE(dup_thread.error.find("duplicate thread_name"), std::string::npos)
+      << dup_thread.error;
+
+  // Same tid under different pids is two distinct threads.
+  const TraceCheck ok = check_chrome_trace(
+      R"({"traceEvents": [)"
+      R"({"name": "thread_name", "ph": "M", "pid": 7, "tid": 1,)"
+      R"( "args": {"name": "sim"}},)"
+      R"({"name": "thread_name", "ph": "M", "pid": 8, "tid": 1,)"
+      R"( "args": {"name": "sim"}}]})");
+  EXPECT_TRUE(ok.ok) << ok.error;
 }
 
 // --- Thread-local scope ---

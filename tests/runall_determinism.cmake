@@ -3,11 +3,13 @@
 # (which includes the deterministic per-experiment `counters` object) and
 # the Chrome trace (timing fields excluded via --no-timing). Tracing is ON
 # for both runs, so this also proves instrumentation itself is
-# deterministic and does not perturb the simulation.
+# deterministic and does not perturb the simulation. When REPORT is given
+# (path to fiveg_report), every per-figure report artifact derived from
+# the two JSON documents must be byte-identical too.
 #
 # Invoked as:
-#   cmake -DRUNALL=<path-to-fiveg_runall> -DWORK_DIR=<dir>
-#         -P runall_determinism.cmake
+#   cmake -DRUNALL=<path-to-fiveg_runall> [-DREPORT=<path-to-fiveg_report>]
+#         -DWORK_DIR=<dir> -P runall_determinism.cmake
 if(NOT RUNALL OR NOT WORK_DIR)
   message(FATAL_ERROR "RUNALL and WORK_DIR must be set")
 endif()
@@ -59,4 +61,38 @@ if(NOT trace_diff EQUAL 0)
   message(FATAL_ERROR "--jobs 8 trace output differs from --jobs 1")
 endif()
 
-message(STATUS "runall determinism: text, JSON and trace byte-identical")
+if(REPORT)
+  foreach(side serial parallel)
+    execute_process(
+      COMMAND ${REPORT} --in ${WORK_DIR}/${side}.json
+              --out-dir ${WORK_DIR}/${side}_report
+      OUTPUT_QUIET
+      ERROR_VARIABLE report_err
+      RESULT_VARIABLE report_rc)
+    if(NOT report_rc EQUAL 0)
+      message(FATAL_ERROR
+              "fiveg_report failed on ${side}.json (rc=${report_rc}): "
+              "${report_err}")
+    endif()
+  endforeach()
+  file(GLOB report_files RELATIVE ${WORK_DIR}/serial_report
+       ${WORK_DIR}/serial_report/*)
+  if(NOT report_files)
+    message(FATAL_ERROR "fiveg_report produced no artifacts")
+  endif()
+  foreach(f ${report_files})
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              ${WORK_DIR}/serial_report/${f} ${WORK_DIR}/parallel_report/${f}
+      RESULT_VARIABLE report_diff)
+    if(NOT report_diff EQUAL 0)
+      message(FATAL_ERROR
+              "report artifact ${f} differs between --jobs 1 and --jobs 8")
+    endif()
+  endforeach()
+  list(LENGTH report_files report_count)
+  message(STATUS "runall determinism: text, JSON, trace and "
+                 "${report_count} report artifacts byte-identical")
+else()
+  message(STATUS "runall determinism: text, JSON and trace byte-identical")
+endif()

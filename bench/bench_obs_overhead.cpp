@@ -12,6 +12,8 @@
 #include <cstdio>
 #include <vector>
 
+#include <functional>
+
 #include "sim/simulator.h"
 
 namespace {

@@ -1,6 +1,7 @@
 // Buildings: rectangular footprints with a material that sets per-wall
 // penetration loss. The paper's campus has brick-and-concrete construction,
-// which drives its 50.59% indoor bit-rate drop at 3.5 GHz.
+// which drives its 50.59% indoor bit-rate drop at 3.5 GHz. Penetration is
+// defined inline: it runs once per candidate building per radio sample.
 #pragma once
 
 #include <string>
@@ -20,7 +21,22 @@ enum class Material {
 };
 
 /// Per-wall penetration loss in dB for a material at carrier `freq_ghz`.
-[[nodiscard]] double wall_loss_db(Material m, double freq_ghz) noexcept;
+[[nodiscard]] inline double wall_loss_db(Material m, double freq_ghz) noexcept {
+  // Linear-in-frequency per-wall models, anchored so concrete gives
+  // ~10 dB at 1.8 GHz and ~16.5 dB at 3.5 GHz — the gap that produces the
+  // paper's 20% (4G) vs 51% (5G) indoor bit-rate drop.
+  switch (m) {
+    case Material::kConcrete:
+      return 3.0 + 3.85 * freq_ghz;
+    case Material::kBrick:
+      return 2.0 + 3.0 * freq_ghz;
+    case Material::kDrywall:
+      return 1.0 + 0.8 * freq_ghz;
+    case Material::kGlass:
+      return 0.5 + 0.6 * freq_ghz;
+  }
+  return 0.0;
+}
 
 /// A building footprint.
 struct Building {
@@ -35,7 +51,14 @@ struct Building {
   /// Total penetration loss a direct path through/into this building
   /// accumulates, in dB at `freq_ghz`.
   [[nodiscard]] double penetration_db(const Segment& path,
-                                      double freq_ghz) const noexcept;
+                                      double freq_ghz) const noexcept {
+    const int walls = footprint.crossings(path);
+    if (walls == 0 && contains(path.a) && contains(path.b)) {
+      // Fully-indoor short hop: attenuate by interior clutter, not walls.
+      return 0.4 * wall_loss_db(material, freq_ghz);
+    }
+    return walls * wall_loss_db(material, freq_ghz);
+  }
 };
 
 }  // namespace fiveg::geo

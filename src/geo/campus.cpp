@@ -1,5 +1,9 @@
 #include "geo/campus.h"
 
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -11,42 +15,374 @@ CampusMap::CampusMap(Rect bounds, std::vector<Building> buildings)
   if (bounds_.width() <= 0 || bounds_.height() <= 0) {
     throw std::invalid_argument("CampusMap bounds must be non-degenerate");
   }
+  build_index();
 }
 
-bool CampusMap::is_indoor(const Point& p) const noexcept {
+void CampusMap::build_index() {
+  // Grid domain: bounds plus every footprint, so clamped coordinates are
+  // always conservative (a building outside `bounds_` still lands in an
+  // edge cell, as does any query point beyond it).
+  Point lo = bounds_.min, hi = bounds_.max;
   for (const Building& b : buildings_) {
-    if (b.contains(p)) return true;
+    lo.x = std::min(lo.x, b.footprint.min.x);
+    lo.y = std::min(lo.y, b.footprint.min.y);
+    hi.x = std::max(hi.x, b.footprint.max.x);
+    hi.y = std::max(hi.y, b.footprint.max.y);
   }
-  return false;
+  grid_min_ = lo;
+
+  // Aim for ~1 cell per building: segment traversal pays per column it
+  // crosses, and with per-cell candidate bitmasks a slightly denser cell is
+  // cheaper than extra columns.
+  const double w = hi.x - lo.x, h = hi.y - lo.y;
+  const double target_cells =
+      std::max(16.0, 1.0 * static_cast<double>(buildings_.size()));
+  const double edge = std::sqrt(w * h / target_cells);
+  nx_ = std::clamp(static_cast<int>(std::ceil(w / std::max(edge, 1e-9))), 1,
+                   256);
+  ny_ = std::clamp(static_cast<int>(std::ceil(h / std::max(edge, 1e-9))), 1,
+                   256);
+  cell_w_ = w / nx_;
+  cell_h_ = h / ny_;
+  inv_cell_w_ = 1.0 / cell_w_;
+  inv_cell_h_ = 1.0 / cell_h_;
+
+  // CSR fill: count, prefix-sum, then place. Iterating buildings in
+  // ascending index order keeps each cell's candidate list ascending, which
+  // preserves the brute-force scan order (first-match and summation order).
+  const auto n_cells = static_cast<std::size_t>(nx_) * ny_;
+  std::vector<std::uint32_t> counts(n_cells, 0);
+  const auto cell_range = [&](const Rect& f) {
+    return std::array<int, 4>{col(f.min.x), col(f.max.x), row(f.min.y),
+                              row(f.max.y)};
+  };
+  for (const Building& b : buildings_) {
+    const auto [x0, x1, y0, y1] = cell_range(b.footprint);
+    for (int iy = y0; iy <= y1; ++iy) {
+      for (int ix = x0; ix <= x1; ++ix) {
+        ++counts[static_cast<std::size_t>(iy) * nx_ + ix];
+      }
+    }
+  }
+  cell_start_.assign(n_cells + 1, 0);
+  for (std::size_t i = 0; i < n_cells; ++i) {
+    cell_start_[i + 1] = cell_start_[i] + counts[i];
+  }
+  cell_items_.resize(cell_start_.back());
+  std::vector<std::uint32_t> fill(cell_start_.begin(),
+                                  cell_start_.end() - 1);
+  for (std::uint32_t i = 0; i < buildings_.size(); ++i) {
+    const auto [x0, x1, y0, y1] = cell_range(buildings_[i].footprint);
+    for (int iy = y0; iy <= y1; ++iy) {
+      for (int ix = x0; ix <= x1; ++ix) {
+        cell_items_[fill[static_cast<std::size_t>(iy) * nx_ + ix]++] = i;
+      }
+    }
+  }
+  if (buildings_.size() <= 64) {
+    cell_mask_.assign(n_cells, 0);
+    for (std::size_t c = 0; c < n_cells; ++c) {
+      for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        cell_mask_[c] |= std::uint64_t{1} << cell_items_[k];
+      }
+    }
+  }
+  // Memo capacities cover one coverage-grid KPI pass: a 50x46 grid is 2300
+  // point keys, and times ~20 distinct mast positions ~46k segment keys.
+  // Sets are 2-way, so at these sizes the expected set load stays below
+  // ~0.3 and hits dominate. Sizes must be powers of two (index is masked).
+  point_memo_.assign(8192, PointSlot{});
+  los_memo_.assign(131072, LosSlot{});
+  pen_memo_.assign(16384, PenSlot{});
+  point_lru_.assign(point_memo_.size() / 2, 0);
+  los_lru_.assign(los_memo_.size() / 2, 0);
+  pen_lru_.assign(pen_memo_.size() / 2, 0);
 }
 
-bool CampusMap::has_los(const Segment& path) const noexcept {
-  for (const Building& b : buildings_) {
-    if (b.footprint.intersects(path)) return false;
+namespace {
+
+// Mixes coordinate bit patterns into a memo slot index.
+inline std::uint64_t mix_bits(std::uint64_t h) noexcept {
+  h *= 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 29;
+  return h;
+}
+
+// Folds another coordinate's bit pattern into a running hash.
+inline std::uint64_t mix_key(std::uint64_t h, std::uint64_t k) noexcept {
+  return mix_bits(h ^ k);
+}
+
+}  // namespace
+
+int CampusMap::col(double x) const noexcept {
+  const auto ix =
+      static_cast<int>(std::floor((x - grid_min_.x) * inv_cell_w_));
+  return std::clamp(ix, 0, nx_ - 1);
+}
+
+int CampusMap::row(double y) const noexcept {
+  const auto iy =
+      static_cast<int>(std::floor((y - grid_min_.y) * inv_cell_h_));
+  return std::clamp(iy, 0, ny_ - 1);
+}
+
+std::pair<const std::uint32_t*, const std::uint32_t*> CampusMap::cell_items(
+    int ix, int iy) const noexcept {
+  const auto c = static_cast<std::size_t>(iy) * nx_ + ix;
+  return {cell_items_.data() + cell_start_[c],
+          cell_items_.data() + cell_start_[c + 1]};
+}
+
+namespace {
+
+// Fractional margin (in cell units) by which segment row ranges are widened.
+// Column and point lookups need no margin: the index registration and the
+// query evaluate the *same* monotone expression on the *same* coordinates,
+// so their roundings agree. Only the per-column slab intersection computes
+// *new* y values (two FP ops off the exact ones, ~1e-13 relative); 1e-9
+// cell-widths dwarfs that error while visiting an extra row only when the
+// segment grazes a cell boundary.
+constexpr double kRowMargin = 1e-9;
+
+}  // namespace
+
+// Column-slab traversal: for each grid column the segment's x-range covers,
+// visit the rows its y-range within that slab covers. The visited set is a
+// conservative superset of the cells the segment passes through (see
+// kRowMargin); superset visits only cost a few extra (exact) candidate
+// tests, so results cannot change.
+template <class F>
+bool CampusMap::for_each_segment_cell(const Segment& s, F&& f) const {
+  const int ix0 = col(std::min(s.a.x, s.b.x));
+  const int ix1 = col(std::max(s.a.x, s.b.x));
+  const double dx = s.b.x - s.a.x;
+  const double dy = s.b.y - s.a.y;
+
+  const auto row_lo = [&](double y) {
+    const double g = (y - grid_min_.y) * inv_cell_h_;
+    double fl = std::floor(g);
+    if (g - fl < kRowMargin) fl -= 1.0;
+    return std::clamp(static_cast<int>(fl), 0, ny_ - 1);
+  };
+  const auto row_hi = [&](double y) {
+    const double g = (y - grid_min_.y) * inv_cell_h_;
+    double fl = std::floor(g);
+    if (fl + 1.0 - g < kRowMargin) fl += 1.0;
+    return std::clamp(static_cast<int>(fl), 0, ny_ - 1);
+  };
+
+  if (ix0 == ix1 || dx == 0.0) {
+    const int ix = ix0;
+    const int iy0 = row_lo(std::min(s.a.y, s.b.y));
+    const int iy1 = row_hi(std::max(s.a.y, s.b.y));
+    for (int iy = iy0; iy <= iy1; ++iy) {
+      if (!f(ix, iy)) return false;
+    }
+    return true;
+  }
+
+  // One division for the whole walk; per column the slab's two boundary
+  // y values advance by the constant y_step.
+  const double inv_dx = 1.0 / dx;
+  const double y_step = dy * (cell_w_ * inv_dx);  // dy per column width
+  double y_at_lo =
+      s.a.y + dy * ((grid_min_.x + ix0 * cell_w_ - s.a.x) * inv_dx);
+  const double y_a = s.a.y, y_b = s.b.y;
+  const double y_min = std::min(y_a, y_b), y_max = std::max(y_a, y_b);
+  for (int ix = ix0; ix <= ix1; ++ix, y_at_lo += y_step) {
+    // Clamp the slab's y interval to the segment's own y extent (the first
+    // and last slabs extend past the endpoints).
+    const double y_next = y_at_lo + y_step;
+    const double lo =
+        std::clamp(std::min(y_at_lo, y_next), y_min, y_max);
+    const double hi =
+        std::clamp(std::max(y_at_lo, y_next), y_min, y_max);
+    const int iy0 = row_lo(lo);
+    const int iy1 = row_hi(hi);
+    for (int iy = iy0; iy <= iy1; ++iy) {
+      if (!f(ix, iy)) return false;
+    }
   }
   return true;
 }
 
+// Gathers the union of candidate bitmasks over every cell the segment may
+// touch. Only valid when cell_mask_ is populated (<= 64 buildings).
+std::uint64_t CampusMap::segment_mask(const Segment& s) const noexcept {
+  std::uint64_t mask = 0;
+  for_each_segment_cell(s, [&](int ix, int iy) {
+    mask |= cell_mask_[static_cast<std::size_t>(iy) * nx_ + ix];
+    return true;
+  });
+  return mask;
+}
+
+bool CampusMap::is_indoor(const Point& p) const noexcept {
+  return containing_building(p) != nullptr;
+}
+
+const Building* CampusMap::containing_building(const Point& p) const noexcept {
+  // Memo hit: same exact coordinates resolve to the same building, so the
+  // cached answer is identical to a fresh scan.
+  const auto xb = std::bit_cast<std::uint64_t>(p.x);
+  const auto yb = std::bit_cast<std::uint64_t>(p.y);
+  const std::uint64_t h = mix_key(mix_bits(xb), yb);
+  const std::size_t base = h & (point_memo_.size() - 2);
+  for (std::size_t w = 0; w < 2; ++w) {
+    const PointSlot& slot = point_memo_[base + w];
+    if (slot.val != 0 && slot.xb == xb && slot.yb == yb) {
+      point_lru_[base >> 1] = static_cast<std::uint8_t>(1 - w);
+      return slot.val == 1 ? nullptr : &buildings_[slot.val - 2];
+    }
+  }
+  const Building* found = nullptr;
+  const auto [it, end] = cell_items(col(p.x), row(p.y));
+  for (const std::uint32_t* i = it; i != end; ++i) {
+    if (buildings_[*i].contains(p)) {
+      found = &buildings_[*i];
+      break;
+    }
+  }
+  const std::uint8_t w = point_lru_[base >> 1];
+  point_memo_[base + w] = PointSlot{
+      xb, yb,
+      found == nullptr
+          ? 1
+          : static_cast<std::uint32_t>(found - buildings_.data()) + 2};
+  point_lru_[base >> 1] = static_cast<std::uint8_t>(1 - w);
+  return found;
+}
+
+bool CampusMap::has_los(const Segment& path) const noexcept {
+  const auto axb = std::bit_cast<std::uint64_t>(path.a.x);
+  const auto ayb = std::bit_cast<std::uint64_t>(path.a.y);
+  const auto bxb = std::bit_cast<std::uint64_t>(path.b.x);
+  const auto byb = std::bit_cast<std::uint64_t>(path.b.y);
+  const std::uint64_t h =
+      mix_key(mix_key(mix_key(mix_bits(axb), ayb), bxb), byb);
+  const std::size_t base = h & (los_memo_.size() - 2);
+  for (std::size_t w = 0; w < 2; ++w) {
+    const LosSlot& slot = los_memo_[base + w];
+    if (slot.val != 0 && slot.ax == axb && slot.ay == ayb &&
+        slot.bx == bxb && slot.by == byb) {
+      los_lru_[base >> 1] = static_cast<std::uint8_t>(1 - w);
+      return slot.val == 2;
+    }
+  }
+  const bool los = has_los_uncached(path);
+  const std::uint8_t w = los_lru_[base >> 1];
+  los_memo_[base + w] = {axb, ayb, bxb, byb, los ? 2u : 1u};
+  los_lru_[base >> 1] = static_cast<std::uint8_t>(1 - w);
+  return los;
+}
+
+bool CampusMap::has_los_uncached(const Segment& path) const noexcept {
+  // Candidates already seen in an earlier cell are skipped via the running
+  // mask; the walk stops at the first blocking building, and the predicate
+  // is the unmodified Rect::intersects, so the boolean matches the
+  // brute-force scan exactly.
+  if (!cell_mask_.empty()) {
+    std::uint64_t seen = 0;
+    return for_each_segment_cell(path, [&](int ix, int iy) {
+      std::uint64_t m =
+          cell_mask_[static_cast<std::size_t>(iy) * nx_ + ix] & ~seen;
+      seen |= m;
+      while (m != 0) {
+        const auto i = static_cast<std::size_t>(std::countr_zero(m));
+        m &= m - 1;
+        if (buildings_[i].footprint.intersects(path)) return false;
+      }
+      return true;
+    });
+  }
+  return for_each_segment_cell(path, [&](int ix, int iy) {
+    const auto [it, end] = cell_items(ix, iy);
+    for (const std::uint32_t* i = it; i != end; ++i) {
+      if (buildings_[*i].footprint.intersects(path)) return false;
+    }
+    return true;
+  });
+}
+
 double CampusMap::penetration_db(const Segment& path,
                                  double freq_ghz) const noexcept {
+  const auto axb = std::bit_cast<std::uint64_t>(path.a.x);
+  const auto ayb = std::bit_cast<std::uint64_t>(path.a.y);
+  const auto bxb = std::bit_cast<std::uint64_t>(path.b.x);
+  const auto byb = std::bit_cast<std::uint64_t>(path.b.y);
+  const auto fb = std::bit_cast<std::uint64_t>(freq_ghz);
+  const std::uint64_t h = mix_key(
+      mix_key(mix_key(mix_key(mix_bits(axb), ayb), bxb), byb), fb);
+  const std::size_t base = h & (pen_memo_.size() - 2);
+  for (std::size_t w = 0; w < 2; ++w) {
+    const PenSlot& slot = pen_memo_[base + w];
+    if (slot.used != 0 && slot.ax == axb && slot.ay == ayb &&
+        slot.bx == bxb && slot.by == byb && slot.fb == fb) {
+      pen_lru_[base >> 1] = static_cast<std::uint8_t>(1 - w);
+      return slot.val;
+    }
+  }
+  const double pen = penetration_db_uncached(path, freq_ghz);
+  const std::uint8_t w = pen_lru_[base >> 1];
+  pen_memo_[base + w] = {axb, ayb, bxb, byb, fb, pen, 1u};
+  pen_lru_[base >> 1] = static_cast<std::uint8_t>(1 - w);
+  return pen;
+}
+
+double CampusMap::penetration_db_uncached(const Segment& path,
+                                          double freq_ghz) const noexcept {
+  // Candidates are deduplicated and then summed in ascending index order —
+  // the exact addition sequence of the brute-force scan (non-candidates
+  // contribute exactly +0.0 there, which never changes the running total).
   double total = 0.0;
-  for (const Building& b : buildings_) {
-    total += b.penetration_db(path, freq_ghz);
+  if (!cell_mask_.empty()) {
+    std::uint64_t mask = segment_mask(path);
+    while (mask != 0) {
+      const auto i = static_cast<std::size_t>(std::countr_zero(mask));
+      mask &= mask - 1;
+      total += buildings_[i].penetration_db(path, freq_ghz);
+    }
+    return total;
+  }
+  // Large maps: gather, sort, dedup.
+  std::uint32_t buf[256];
+  std::size_t n = 0;
+  bool overflow = false;
+  for_each_segment_cell(path, [&](int ix, int iy) {
+    const auto [it, end] = cell_items(ix, iy);
+    for (const std::uint32_t* i = it; i != end; ++i) {
+      if (n == std::size(buf)) {
+        overflow = true;
+        return false;
+      }
+      buf[n++] = *i;
+    }
+    return true;
+  });
+  if (overflow) {  // degenerate dense map: fall back to the full scan
+    for (const Building& b : buildings_) {
+      total += b.penetration_db(path, freq_ghz);
+    }
+    return total;
+  }
+  std::sort(buf, buf + n);
+  const std::uint32_t* last = std::unique(buf, buf + n);
+  for (const std::uint32_t* i = buf; i != last; ++i) {
+    total += buildings_[*i].penetration_db(path, freq_ghz);
   }
   return total;
 }
 
 double CampusMap::o2i_loss_db(const Point& p, double freq_ghz) const noexcept {
-  for (const Building& b : buildings_) {
-    if (b.contains(p)) {
-      // One exterior wall plus interior clutter growing with depth from
-      // the nearest wall (3GPP O2I spirit, linear-depth variant).
-      const Rect& f = b.footprint;
-      const double depth =
-          std::min(std::min(p.x - f.min.x, f.max.x - p.x),
-                   std::min(p.y - f.min.y, f.max.y - p.y));
-      return wall_loss_db(b.material, freq_ghz) + 0.3 * depth;
-    }
+  if (const Building* b = containing_building(p)) {
+    // One exterior wall plus interior clutter growing with depth from
+    // the nearest wall (3GPP O2I spirit, linear-depth variant).
+    const Rect& f = b->footprint;
+    const double depth =
+        std::min(std::min(p.x - f.min.x, f.max.x - p.x),
+                 std::min(p.y - f.min.y, f.max.y - p.y));
+    return wall_loss_db(b->material, freq_ghz) + 0.3 * depth;
   }
   return 0.0;
 }

@@ -2,8 +2,26 @@
 // buildings, matching the paper's survey area. The map answers the radio
 // model's questions: is a point indoor, is a path line-of-sight, and how much
 // penetration loss does a path accumulate.
+//
+// Queries are served by a uniform-grid spatial index over the building
+// footprints, so each lookup visits only the grid cells a point or segment
+// touches instead of scanning every building. The index is a pure
+// acceleration structure: candidate buildings are evaluated with the same
+// predicates in the same (ascending) order as the original brute-force
+// scans, so every result — including floating-point penetration sums — is
+// bit-identical to the unindexed implementation. On top of the index,
+// small bounded memos keyed on the exact coordinate bit patterns absorb the
+// repeat lookups coverage sweeps generate (co-sited sectors share one
+// mast->UE segment; successive KPI passes revisit the same sample points).
+//
+// Thread-safety: point lookups go through a small internal memo, so const
+// queries are NOT safe to call concurrently on one CampusMap instance. Every
+// user of the map (Scenario, experiments, benchmarks) constructs its own
+// instance per thread, matching the RadioEnvironment memo contract.
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "geo/building.h"
@@ -24,6 +42,11 @@ class CampusMap {
 
   /// True when the point lies inside any building footprint.
   [[nodiscard]] bool is_indoor(const Point& p) const noexcept;
+
+  /// The first building (in construction order) whose footprint contains
+  /// `p`, or nullptr when the point is outdoors.
+  [[nodiscard]] const Building* containing_building(
+      const Point& p) const noexcept;
 
   /// True when no building blocks the direct path.
   [[nodiscard]] bool has_los(const Segment& path) const noexcept;
@@ -46,8 +69,75 @@ class CampusMap {
   [[nodiscard]] Point random_point(sim::Rng& rng) const;
 
  private:
+  // Builds the uniform grid over the union of `bounds_` and all footprints
+  // (so clamped cell coordinates can never miss a building).
+  void build_index();
+
+  [[nodiscard]] int col(double x) const noexcept;
+  [[nodiscard]] int row(double y) const noexcept;
+  // [first, last) building indices (ascending) registered in cell (ix, iy).
+  [[nodiscard]] std::pair<const std::uint32_t*, const std::uint32_t*>
+  cell_items(int ix, int iy) const noexcept;
+
+  // Invokes `f(ix, iy)` for every grid cell a segment may touch (a small
+  // conservative superset); stops early when `f` returns false.
+  template <class F>
+  bool for_each_segment_cell(const Segment& s, F&& f) const;
+
+  // Union of candidate bitmasks over every cell the segment may touch
+  // (only valid when cell_mask_ is populated, i.e. <= 64 buildings).
+  [[nodiscard]] std::uint64_t segment_mask(const Segment& s) const noexcept;
+
   Rect bounds_;
   std::vector<Building> buildings_;
+
+  // Uniform grid (CSR layout): cell (ix, iy) holds the ascending indices of
+  // buildings whose footprint overlaps it.
+  Point grid_min_;
+  double cell_w_ = 1.0, cell_h_ = 1.0;
+  double inv_cell_w_ = 1.0, inv_cell_h_ = 1.0;
+  int nx_ = 1, ny_ = 1;
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<std::uint32_t> cell_items_;
+  // When the map has <= 64 buildings (every paper campus), each cell also
+  // carries a bitmask of its candidates so segment traversal is one OR per
+  // cell instead of an item loop.
+  std::vector<std::uint64_t> cell_mask_;
+
+  // Direct-mapped memos keyed on the exact bit patterns of the query
+  // coordinates. Coverage grids and KPI passes revisit the same sample
+  // points, and co-sited sectors ask for the same mast->UE segment several
+  // times per sample. Bounded (fixed slot count, deterministic eviction)
+  // and exact: values are pure functions of the keys, so a hit returns
+  // precisely what the scan would have recomputed.
+  struct PointSlot {
+    std::uint64_t xb = 0, yb = 0;
+    std::uint32_t val = 0;  // 0 = empty, 1 = outdoor, i + 2 = buildings_[i]
+  };
+  struct LosSlot {
+    std::uint64_t ax = 0, ay = 0, bx = 0, by = 0;
+    std::uint32_t val = 0;  // 0 = empty, 1 = blocked, 2 = line-of-sight
+  };
+  struct PenSlot {
+    std::uint64_t ax = 0, ay = 0, bx = 0, by = 0, fb = 0;
+    double val = 0.0;
+    std::uint32_t used = 0;
+  };
+  // Each memo is 2-way set-associative with LRU replacement. Replacement
+  // state evolves as a pure function of the (deterministic) query sequence,
+  // and hits return exactly what a fresh scan would recompute, so results
+  // are identical whatever the hit pattern.
+  mutable std::vector<PointSlot> point_memo_;
+  mutable std::vector<LosSlot> los_memo_;
+  mutable std::vector<PenSlot> pen_memo_;
+  // One LRU way index per 2-slot set.
+  mutable std::vector<std::uint8_t> point_lru_;
+  mutable std::vector<std::uint8_t> los_lru_;
+  mutable std::vector<std::uint8_t> pen_lru_;
+
+  [[nodiscard]] bool has_los_uncached(const Segment& path) const noexcept;
+  [[nodiscard]] double penetration_db_uncached(const Segment& path,
+                                               double freq_ghz) const noexcept;
 };
 
 /// Builds the paper's campus: `bounds` 500 m x 920 m, a street grid with

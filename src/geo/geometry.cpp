@@ -1,6 +1,5 @@
 #include "geo/geometry.h"
 
-#include <algorithm>
 #include <cmath>
 
 namespace fiveg::geo {
@@ -19,65 +18,6 @@ double azimuth_deg(const Point& from, const Point& to) noexcept {
 double angle_diff_deg(double a_deg, double b_deg) noexcept {
   double d = std::fmod(std::fabs(a_deg - b_deg), 360.0);
   return d > 180.0 ? 360.0 - d : d;
-}
-
-Point Segment::at(double t) const noexcept {
-  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
-}
-
-bool Rect::contains(const Point& p) const noexcept {
-  return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
-}
-
-Point Rect::center() const noexcept {
-  return {(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
-}
-
-namespace {
-
-// Liang-Barsky clipping: returns the [t_enter, t_exit] parameter range of
-// the segment inside the rect, or nullopt when it misses entirely.
-std::optional<std::pair<double, double>> clip(const Rect& r,
-                                              const Segment& s) noexcept {
-  const double dx = s.b.x - s.a.x;
-  const double dy = s.b.y - s.a.y;
-  double t0 = 0.0, t1 = 1.0;
-
-  const auto clip_axis = [&](double p, double q) {
-    // Moving by p along this axis; q is the distance to the boundary.
-    if (p == 0.0) return q >= 0.0;  // parallel: inside iff q non-negative
-    const double t = q / p;
-    if (p < 0.0) {
-      if (t > t1) return false;
-      t0 = std::max(t0, t);
-    } else {
-      if (t < t0) return false;
-      t1 = std::min(t1, t);
-    }
-    return true;
-  };
-
-  if (!clip_axis(-dx, s.a.x - r.min.x)) return std::nullopt;
-  if (!clip_axis(dx, r.max.x - s.a.x)) return std::nullopt;
-  if (!clip_axis(-dy, s.a.y - r.min.y)) return std::nullopt;
-  if (!clip_axis(dy, r.max.y - s.a.y)) return std::nullopt;
-  if (t0 > t1) return std::nullopt;
-  return std::make_pair(t0, t1);
-}
-
-}  // namespace
-
-bool Rect::intersects(const Segment& s) const noexcept {
-  return clip(*this, s).has_value();
-}
-
-int Rect::crossings(const Segment& s) const noexcept {
-  if (!clip(*this, s)) return 0;
-  const bool a_in = contains(s.a);
-  const bool b_in = contains(s.b);
-  if (a_in && b_in) return 0;  // fully indoor: no wall on the path
-  if (a_in || b_in) return 1;  // enters or leaves once
-  return 2;                    // passes through
 }
 
 }  // namespace fiveg::geo

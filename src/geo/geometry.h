@@ -1,9 +1,13 @@
 // 2-D geometry primitives for the campus model: points in metres, segments
-// (radio paths), and axis-aligned rectangles (building footprints).
+// (radio paths), and axis-aligned rectangles (building footprints). The
+// rectangle/segment predicates are defined inline: they are the innermost
+// loop of every coverage sweep, and call overhead was measurable there.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <optional>
+#include <utility>
 #include <vector>
 
 namespace fiveg::geo {
@@ -32,7 +36,9 @@ struct Segment {
 
   [[nodiscard]] double length() const noexcept { return distance(a, b); }
   /// Point at parameter t in [0,1] along the segment.
-  [[nodiscard]] Point at(double t) const noexcept;
+  [[nodiscard]] Point at(double t) const noexcept {
+    return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+  }
 };
 
 /// Axis-aligned rectangle, min corner inclusive / max corner inclusive.
@@ -40,10 +46,14 @@ struct Rect {
   Point min;
   Point max;
 
-  [[nodiscard]] bool contains(const Point& p) const noexcept;
+  [[nodiscard]] bool contains(const Point& p) const noexcept {
+    return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+  }
   [[nodiscard]] double width() const noexcept { return max.x - min.x; }
   [[nodiscard]] double height() const noexcept { return max.y - min.y; }
-  [[nodiscard]] Point center() const noexcept;
+  [[nodiscard]] Point center() const noexcept {
+    return {(min.x + max.x) / 2.0, (min.y + max.y) / 2.0};
+  }
 
   /// Number of rectangle edges a segment crosses: 0 (misses), 1 (one end
   /// inside), or 2 (passes through). Each crossing is one wall for the
@@ -53,5 +63,52 @@ struct Rect {
   /// True if the segment intersects the rectangle's interior at all.
   [[nodiscard]] bool intersects(const Segment& s) const noexcept;
 };
+
+namespace detail {
+
+// Liang-Barsky clipping: returns the [t_enter, t_exit] parameter range of
+// the segment inside the rect, or nullopt when it misses entirely.
+inline std::optional<std::pair<double, double>> clip(const Rect& r,
+                                                     const Segment& s) noexcept {
+  const double dx = s.b.x - s.a.x;
+  const double dy = s.b.y - s.a.y;
+  double t0 = 0.0, t1 = 1.0;
+
+  const auto clip_axis = [&](double p, double q) {
+    // Moving by p along this axis; q is the distance to the boundary.
+    if (p == 0.0) return q >= 0.0;  // parallel: inside iff q non-negative
+    const double t = q / p;
+    if (p < 0.0) {
+      if (t > t1) return false;
+      t0 = std::max(t0, t);
+    } else {
+      if (t < t0) return false;
+      t1 = std::min(t1, t);
+    }
+    return true;
+  };
+
+  if (!clip_axis(-dx, s.a.x - r.min.x)) return std::nullopt;
+  if (!clip_axis(dx, r.max.x - s.a.x)) return std::nullopt;
+  if (!clip_axis(-dy, s.a.y - r.min.y)) return std::nullopt;
+  if (!clip_axis(dy, r.max.y - s.a.y)) return std::nullopt;
+  if (t0 > t1) return std::nullopt;
+  return std::make_pair(t0, t1);
+}
+
+}  // namespace detail
+
+inline bool Rect::intersects(const Segment& s) const noexcept {
+  return detail::clip(*this, s).has_value();
+}
+
+inline int Rect::crossings(const Segment& s) const noexcept {
+  if (!detail::clip(*this, s)) return 0;
+  const bool a_in = contains(s.a);
+  const bool b_in = contains(s.b);
+  if (a_in && b_in) return 0;  // fully indoor: no wall on the path
+  if (a_in || b_in) return 1;  // enters or leaves once
+  return 2;                    // passes through
+}
 
 }  // namespace fiveg::geo

@@ -1,6 +1,16 @@
 // Link budget: combines carrier, antenna, geometry, path loss, penetration
 // and shadowing into the KPIs the paper measures — RSRP, SINR, RSRQ and
 // achievable bit-rate — for any transmitter/UE position pair.
+//
+// The environment memoizes the site-geometry terms of each link (azimuth
+// and path loss, keyed on the exact (site, UE, frequency) bit patterns) and
+// offers a batched `rsrp_dbm_all` that computes the per-UE terms (O2I
+// penetration, shadowing) once per call and shares the geometry terms
+// between co-sited sectors. Both are exact: every memoized value is a pure
+// function of its key, and sums are evaluated in the original expression
+// order, so results are bit-identical to the one-site-at-a-time path. The
+// memos make const queries NOT thread-safe on a shared instance (same
+// contract as geo::CampusMap: one owner per thread).
 #pragma once
 
 #include <cstdint>
@@ -36,6 +46,36 @@ class RadioEnvironment {
   [[nodiscard]] double rsrp_dbm(const CarrierConfig& c, const TxSite& tx,
                                 const geo::Point& ue) const noexcept;
 
+  /// Batched RSRP toward every site in [first, last): `proj` maps each
+  /// element to a `const TxSite&`. Appends one dBm value per site to `out`
+  /// (cleared first), each bit-identical to the corresponding rsrp_dbm()
+  /// call. Per-UE penetration and shadowing are evaluated once, and sites
+  /// at one position (co-sited sectors) share one LoS + path-loss lookup.
+  template <class Iter, class Proj>
+  void rsrp_dbm_all(const CarrierConfig& c, Iter first, Iter last, Proj proj,
+                    const geo::Point& ue, std::vector<double>& out) const {
+    out.clear();
+    const double pen = campus_->o2i_loss_db(ue, c.freq_ghz);
+    const double shadow = field_for(c).at(ue);
+    const geo::Point* prev = nullptr;
+    LinkTerms lt{};
+    for (Iter it = first; it != last; ++it) {
+      const TxSite& tx = proj(*it);
+      if (prev == nullptr || !(tx.pos == *prev)) {
+        lt = link_terms(tx.pos, ue, c.freq_ghz);
+        prev = &tx.pos;
+      }
+      // Same association as rsrp_dbm(): tx power + (((gain - pl) - pen) -
+      // shadow), so each element is bit-identical to the scalar call.
+      out.push_back(c.tx_re_power_dbm +
+                    (tx.antenna.gain_dbi(lt.az) - lt.pl - pen - shadow));
+    }
+  }
+
+  /// Batched RSRP over a plain site vector.
+  void rsrp_dbm_all(const CarrierConfig& c, const std::vector<TxSite>& sites,
+                    const geo::Point& ue, std::vector<double>& out) const;
+
   /// SINR with co-channel interference from `interferers` (all transmitting
   /// at `interferer_load` activity factor) plus thermal noise.
   [[nodiscard]] double sinr_db(const CarrierConfig& c, const TxSite& serving,
@@ -51,9 +91,30 @@ class RadioEnvironment {
   [[nodiscard]] const ShadowingField& field_for(
       const CarrierConfig& c) const noexcept;
 
+  // The site-geometry half of a link budget: azimuth toward the UE and the
+  // LoS/NLoS path loss. Both depend only on (site position, UE, frequency);
+  // the antenna pattern is applied per sector on top.
+  struct LinkTerms {
+    double az = 0.0;
+    double pl = 0.0;
+  };
+  // Memoized lookup, keyed on the exact bit patterns of the five inputs;
+  // 2-way set-associative with LRU replacement (see geo::CampusMap).
+  [[nodiscard]] LinkTerms link_terms(const geo::Point& site,
+                                     const geo::Point& ue,
+                                     double freq_ghz) const noexcept;
+
   const geo::CampusMap* campus_;
   ShadowingField shadow_lte_;
   ShadowingField shadow_nr_;
+
+  struct LinkSlot {
+    std::uint64_t px = 0, py = 0, ux = 0, uy = 0, fb = 0;
+    LinkTerms terms;
+    std::uint32_t used = 0;
+  };
+  mutable std::vector<LinkSlot> link_memo_;
+  mutable std::vector<std::uint8_t> link_lru_;  // LRU way per 2-slot set
 };
 
 }  // namespace fiveg::radio

@@ -2,9 +2,16 @@
 // function of (seed, position): lattice nodes get hashed Gaussian values and
 // intermediate points interpolate bilinearly, giving an exponential-like
 // correlation over the decorrelation distance without storing any state.
+//
+// `at()` runs once per (site, UE) link in every link budget, so each field
+// keeps a small bounded memo keyed on the exact position bit pattern —
+// coverage sweeps sample the same points once per KPI pass. The memo makes
+// const queries NOT thread-safe on a shared instance (same contract as
+// geo::CampusMap: one owner per thread).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "geo/geometry.h"
 
@@ -33,10 +40,21 @@ class ShadowingField {
  private:
   [[nodiscard]] double node_value(std::int64_t ix,
                                   std::int64_t iy) const noexcept;
+  [[nodiscard]] double at_uncached(const geo::Point& p) const noexcept;
 
   std::uint64_t seed_;
   double sigma_db_;
   double corr_dist_m_;
+
+  // 2-way set-associative LRU memo keyed on the exact coordinate bits; a
+  // hit returns precisely what the lattice interpolation would recompute.
+  struct Slot {
+    std::uint64_t xb = 0, yb = 0;
+    double val = 0.0;
+    std::uint32_t used = 0;
+  };
+  mutable std::vector<Slot> memo_;
+  mutable std::vector<std::uint8_t> lru_;  // one LRU way index per 2-slot set
 };
 
 }  // namespace fiveg::radio

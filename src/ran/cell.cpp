@@ -4,6 +4,7 @@
 
 #include "obs/obs.h"
 #include "radio/mcs.h"
+#include "radio/units.h"
 
 namespace fiveg::ran {
 
@@ -44,27 +45,30 @@ std::vector<CellMeasurement> measure_cells(
     const radio::RadioEnvironment& env, const radio::CarrierConfig& carrier,
     const std::vector<Cell>& cells, const geo::Point& ue,
     double interferer_load) {
-  // Evaluate each cell's RSRP once; every other cell interferes with it, so
-  // SINR falls out of the running total (keeps a 34-cell sweep O(n)).
-  std::vector<CellMeasurement> out;
-  out.reserve(cells.size());
+  // Batched RSRP: the per-UE link-budget terms are evaluated once for the
+  // whole cell list and co-sited sectors share their geometry terms. Every
+  // other cell interferes with each one, so SINR falls out of the running
+  // total (keeps a 34-cell sweep O(n)).
+  // Scratch buffer reused across calls (coverage sweeps call this once per
+  // sample); it is fully rewritten each call, so results don't depend on it.
+  static thread_local std::vector<double> rsrp;
+  env.rsrp_dbm_all(
+      carrier, cells.begin(), cells.end(),
+      [](const Cell& c) -> const radio::TxSite& { return c.site; }, ue, rsrp);
+  std::vector<CellMeasurement> out(cells.size());
   double total_linear_mw = 0.0;
-  std::vector<double> linear_mw;
-  linear_mw.reserve(cells.size());
-  for (const Cell& c : cells) {
-    CellMeasurement m;
-    m.cell = &c;
-    m.rsrp_dbm = env.rsrp_dbm(carrier, c.site, ue);
-    const double lin = std::pow(10.0, m.rsrp_dbm / 10.0);
-    linear_mw.push_back(lin);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out[i].cell = &cells[i];
+    out[i].rsrp_dbm = rsrp[i];
+    const double lin = radio::db_to_linear(rsrp[i]);
+    rsrp[i] = lin;  // dBm values now live in `out`; reuse as linear mW
     total_linear_mw += lin;
-    out.push_back(m);
   }
-  const double noise_mw = std::pow(10.0, carrier.noise_per_re_dbm() / 10.0);
+  const double noise_mw = radio::db_to_linear(carrier.noise_per_re_dbm());
   for (std::size_t i = 0; i < out.size(); ++i) {
     const double interference =
-        interferer_load * (total_linear_mw - linear_mw[i]);
-    out[i].sinr_db = 10.0 * std::log10(linear_mw[i] / (noise_mw + interference));
+        interferer_load * (total_linear_mw - rsrp[i]);
+    out[i].sinr_db = radio::linear_to_db(rsrp[i] / (noise_mw + interference));
     out[i].rsrq_db = radio::rsrq_db_from_sinr(out[i].sinr_db);
   }
   return out;

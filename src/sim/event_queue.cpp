@@ -5,45 +5,72 @@
 
 namespace fiveg::sim {
 
-EventId EventQueue::schedule(Time at, const char* label,
-                             std::function<void()> action) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, label, std::move(action)});
-  return id;
+EventId EventQueue::schedule(Time at, const char* label, Callable action) {
+  std::uint32_t slot;
+  if (free_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = free_.back();
+    free_.pop_back();
+  }
+  Slot& s = slots_[slot];
+  s.action = std::move(action);
+  s.label = label;
+  s.live = true;
+  heap_.push(HeapItem{at, seq_++, slot, s.gen});
+  return (static_cast<EventId>(s.gen) << 32) | slot;
 }
 
 void EventQueue::cancel(EventId id) {
-  if (id < next_id_) cancelled_.insert(id);
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffU);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return;  // never-issued handle
+  Slot& s = slots_[slot];
+  // Generation mismatch: the event already fired (or was cancelled) and
+  // the slot moved on. The stale-id no-op costs nothing and stores nothing.
+  if (!s.live || s.gen != gen) return;
+  s.action.reset();  // release captures immediately
+  s.label = nullptr;
+  s.live = false;
+  ++s.gen;  // invalidates the id and the pending heap item
+  free_.push_back(slot);
 }
 
-void EventQueue::skip_cancelled() const {
+void EventQueue::skip_stale() const {
   while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
+    const HeapItem& it = heap_.top();
+    const Slot& s = slots_[it.slot];
+    if (s.live && s.gen == it.gen) return;
     heap_.pop();
   }
 }
 
 bool EventQueue::empty() const noexcept {
-  skip_cancelled();
+  skip_stale();
   return heap_.empty();
 }
 
 Time EventQueue::next_time() const {
-  skip_cancelled();
+  skip_stale();
   assert(!heap_.empty());
   return heap_.top().at;
 }
 
 EventQueue::Popped EventQueue::pop() {
-  skip_cancelled();
+  skip_stale();
   assert(!heap_.empty());
-  // The callback may schedule or cancel events, so detach it from the heap
-  // before it can be invoked.
-  Popped out{heap_.top().at, heap_.top().label,
-             std::move(heap_.top().action)};
+  const HeapItem it = heap_.top();
   heap_.pop();
+  Slot& s = slots_[it.slot];
+  // Detach the callback before it can run: it may schedule into (or cancel
+  // within) this queue, including its own — now stale — id.
+  Popped out{it.at, s.label, std::move(s.action)};
+  s.action.reset();
+  s.label = nullptr;
+  s.live = false;
+  ++s.gen;
+  free_.push_back(it.slot);
   return out;
 }
 

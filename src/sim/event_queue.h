@@ -1,14 +1,23 @@
 // A deterministic pending-event set: a min-heap keyed on (time, sequence
 // number) so that events scheduled for the same instant fire in scheduling
-// order. Cancellation is lazy — cancelled entries are skipped on pop.
+// order.
+//
+// Layout: the heap holds small POD items (time, sequence, slot reference);
+// the callables live in a slot arena indexed by the heap items. An EventId
+// is (slot generation << 32) | slot index, so cancellation is O(1): it
+// destroys the action immediately (releasing its captures), bumps the
+// slot's generation — which simultaneously invalidates the id, invalidates
+// the heap item (reaped lazily when it surfaces), and recycles the slot.
+// Cancelling an already-fired or unknown id compares generations and does
+// nothing, so no per-id bookkeeping ever accumulates: total storage is
+// bounded by the high-water mark of concurrently pending events.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callable.h"
 #include "sim/time.h"
 
 namespace fiveg::sim {
@@ -21,7 +30,7 @@ class EventQueue {
  public:
   /// Schedules `action` to fire at absolute time `at`. Returns a handle
   /// that can be passed to `cancel`.
-  EventId schedule(Time at, std::function<void()> action) {
+  EventId schedule(Time at, Callable action) {
     return schedule(at, nullptr, std::move(action));
   }
 
@@ -29,7 +38,7 @@ class EventQueue {
   /// event in profiling reports and traces. It must point at storage that
   /// outlives the queue (string literals, in practice); null means
   /// unlabelled. Carrying the pointer costs unlabelled callers nothing.
-  EventId schedule(Time at, const char* label, std::function<void()> action);
+  EventId schedule(Time at, const char* label, Callable action);
 
   /// Cancels a pending event. Cancelling an already-fired or unknown
   /// handle is a harmless no-op (the common race in protocol timers).
@@ -41,11 +50,11 @@ class EventQueue {
   /// Time of the earliest runnable event. Precondition: !empty().
   [[nodiscard]] Time next_time() const;
 
-  /// A popped event, detached from the heap.
+  /// A popped event, detached from the queue.
   struct Popped {
     Time at;
     const char* label;  // null when unlabelled
-    std::function<void()> action;
+    Callable action;
   };
 
   /// Pops the earliest runnable event without running it, so the caller can
@@ -58,33 +67,48 @@ class EventQueue {
 
   /// Number of events ever scheduled (diagnostic).
   [[nodiscard]] std::uint64_t scheduled_count() const noexcept {
-    return next_id_;
+    return seq_;
   }
 
   /// Heap occupancy, an upper bound on the runnable-event count (lazily
-  /// cancelled entries are included until reaped). Used for queue-depth
-  /// high-water marks, where the bound is tight enough.
+  /// reaped cancelled items are included until they surface). Used for
+  /// queue-depth high-water marks, where the bound is tight enough.
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
+  /// Number of action slots ever allocated: the high-water mark of
+  /// concurrently pending events. Stays flat however many ids are
+  /// cancelled — the regression guard for the old cancelled-set leak.
+  [[nodiscard]] std::size_t slot_capacity() const noexcept {
+    return slots_.size();
+  }
+
  private:
-  struct Entry {
+  struct HeapItem {
     Time at;
-    EventId id;
-    const char* label;
-    // Heap entries are moved, never copied: the callback may own captures.
-    mutable std::function<void()> action;
-    friend bool operator>(const Entry& a, const Entry& b) noexcept {
-      return a.at != b.at ? a.at > b.at : a.id > b.id;
+    std::uint64_t seq;   // schedule order: FIFO tie-break at equal times
+    std::uint32_t slot;  // index into slots_
+    std::uint32_t gen;   // slot generation at schedule time
+    friend bool operator>(const HeapItem& a, const HeapItem& b) noexcept {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
     }
   };
 
-  // Drops cancelled entries sitting at the top of the heap.
-  void skip_cancelled() const;
+  struct Slot {
+    Callable action;
+    const char* label = nullptr;
+    std::uint32_t gen = 0;
+    bool live = false;
+  };
 
-  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>>
+  // Drops heap items whose slot was cancelled (generation mismatch).
+  void skip_stale() const;
+
+  mutable std::priority_queue<HeapItem, std::vector<HeapItem>,
+                              std::greater<>>
       heap_;
-  mutable std::unordered_set<EventId> cancelled_;
-  EventId next_id_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;  // recycled slot indices (LIFO)
+  std::uint64_t seq_ = 0;
 };
 
 }  // namespace fiveg::sim

@@ -45,12 +45,12 @@ Simulator::~Simulator() {
 }
 
 EventId Simulator::schedule_at(Time at, const char* label,
-                               std::function<void()> action) {
+                               Callable action) {
   return queue_.schedule(std::max(at, now_), label, std::move(action));
 }
 
 EventId Simulator::schedule_in(Time delay, const char* label,
-                               std::function<void()> action) {
+                               Callable action) {
   return schedule_at(now_ + std::max<Time>(delay, 0), label,
                      std::move(action));
 }

@@ -11,10 +11,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
 
+#include "sim/callable.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
 
@@ -49,24 +49,22 @@ class Simulator {
 
   /// Schedules `action` at absolute time `at` (clamped to `now()` if in the
   /// past, so zero-delay self-posts are safe).
-  EventId schedule_at(Time at, std::function<void()> action) {
+  EventId schedule_at(Time at, Callable action) {
     return schedule_at(at, nullptr, std::move(action));
   }
 
   /// Labelled variant: `label` buckets this event in profiling reports and
   /// traces ("tcp.rto", "net.link_tx", ...). Must be a string literal or
   /// other storage outliving the simulator; unlabelled callers pay nothing.
-  EventId schedule_at(Time at, const char* label,
-                      std::function<void()> action);
+  EventId schedule_at(Time at, const char* label, Callable action);
 
   /// Schedules `action` to fire `delay` from now.
-  EventId schedule_in(Time delay, std::function<void()> action) {
+  EventId schedule_in(Time delay, Callable action) {
     return schedule_in(delay, nullptr, std::move(action));
   }
 
   /// Labelled variant of `schedule_in` (see `schedule_at`).
-  EventId schedule_in(Time delay, const char* label,
-                      std::function<void()> action);
+  EventId schedule_in(Time delay, const char* label, Callable action);
 
   /// Cancels a pending event (no-op if already fired).
   void cancel(EventId id) { queue_.cancel(id); }

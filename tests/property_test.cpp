@@ -24,6 +24,129 @@
 namespace fiveg {
 namespace {
 
+// ---------- Geometry: spatial index vs the brute-force scans ----------
+
+// The spatial index (and the memos in front of it) must reproduce the
+// original O(n) scans bit-for-bit on every query, for any campus. These
+// are the reference scans the index replaced.
+bool brute_has_los(const std::vector<geo::Building>& bs,
+                   const geo::Segment& s) {
+  for (const geo::Building& b : bs) {
+    if (b.footprint.intersects(s)) return false;
+  }
+  return true;
+}
+
+double brute_penetration_db(const std::vector<geo::Building>& bs,
+                            const geo::Segment& s, double freq_ghz) {
+  double total = 0.0;
+  for (const geo::Building& b : bs) total += b.penetration_db(s, freq_ghz);
+  return total;
+}
+
+const geo::Building* brute_containing(const std::vector<geo::Building>& bs,
+                                      const geo::Point& p) {
+  for (const geo::Building& b : bs) {
+    if (b.contains(p)) return &b;
+  }
+  return nullptr;
+}
+
+double brute_o2i_db(const std::vector<geo::Building>& bs, const geo::Point& p,
+                    double freq_ghz) {
+  const geo::Building* b = brute_containing(bs, p);
+  if (b == nullptr) return 0.0;
+  const geo::Rect& f = b->footprint;
+  const double depth = std::min(std::min(p.x - f.min.x, f.max.x - p.x),
+                                std::min(p.y - f.min.y, f.max.y - p.y));
+  return geo::wall_loss_db(b->material, freq_ghz) + 0.3 * depth;
+}
+
+std::vector<geo::Building> random_buildings(sim::Rng& rng, int count,
+                                            const geo::Rect& bounds) {
+  std::vector<geo::Building> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const double w = rng.uniform(4.0, 120.0);
+    const double h = rng.uniform(4.0, 120.0);
+    // Some footprints extend past the bounds: the grid must widen for them.
+    const double x = rng.uniform(bounds.min.x - 30.0, bounds.max.x - w + 30.0);
+    const double y = rng.uniform(bounds.min.y - 30.0, bounds.max.y - h + 30.0);
+    geo::Building b;
+    b.footprint = {{x, y}, {x + w, y + h}};
+    b.material = static_cast<geo::Material>(rng.uniform_int(0, 3));
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
+// One campus size per mask regime: small maps use per-cell bitmasks, maps
+// with more than 64 buildings fall back to the CSR item lists.
+class CampusIndexProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CampusIndexProperty, MatchesBruteForceBitForBit) {
+  const geo::Rect bounds{{0.0, 0.0}, {500.0, 920.0}};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    sim::Rng rng(seed * 7919);
+    auto buildings = random_buildings(rng, GetParam(), bounds);
+    const geo::CampusMap campus(bounds, std::vector<geo::Building>(buildings));
+
+    std::vector<geo::Point> pts;
+    for (int i = 0; i < 60; ++i) {
+      pts.push_back({rng.uniform(bounds.min.x - 40.0, bounds.max.x + 40.0),
+                     rng.uniform(bounds.min.y - 40.0, bounds.max.y + 40.0)});
+    }
+    // Boundary-touching points: footprint corners and edge midpoints are
+    // exactly representable, so queries land precisely on the boundary.
+    for (std::size_t i = 0; i < buildings.size(); i += 7) {
+      const geo::Rect& f = buildings[i].footprint;
+      pts.push_back(f.min);
+      pts.push_back(f.max);
+      pts.push_back({f.min.x, f.max.y});
+      pts.push_back({(f.min.x + f.max.x) / 2.0, f.min.y});
+    }
+
+    std::vector<geo::Segment> segs;
+    for (int i = 0; i + 1 < static_cast<int>(pts.size()); ++i) {
+      segs.push_back({pts[static_cast<std::size_t>(i)],
+                      pts[static_cast<std::size_t>(i + 1)]});
+    }
+    for (std::size_t i = 0; i < pts.size(); i += 5) {
+      segs.push_back({pts[i], pts[i]});  // zero-length paths
+    }
+
+    // Two rounds: the first may miss the memos, the second must hit them —
+    // both must agree with the brute-force scan exactly.
+    for (int round = 0; round < 2; ++round) {
+      for (const geo::Point& p : pts) {
+        EXPECT_EQ(campus.is_indoor(p), brute_containing(buildings, p) != nullptr);
+        const geo::Building* mine = campus.containing_building(p);
+        const geo::Building* ref = brute_containing(buildings, p);
+        ASSERT_EQ(mine == nullptr, ref == nullptr);
+        if (mine != nullptr) {
+          // Same building, by construction order (first match wins).
+          EXPECT_EQ(mine->footprint.min.x, ref->footprint.min.x);
+          EXPECT_EQ(mine->footprint.min.y, ref->footprint.min.y);
+        }
+        for (const double f : {1.8, 3.5}) {
+          EXPECT_EQ(campus.o2i_loss_db(p, f), brute_o2i_db(buildings, p, f));
+        }
+      }
+      for (const geo::Segment& s : segs) {
+        EXPECT_EQ(campus.has_los(s), brute_has_los(buildings, s));
+        for (const double f : {1.8, 3.5}) {
+          EXPECT_EQ(campus.penetration_db(s, f),
+                    brute_penetration_db(buildings, s, f));
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaskAndCsrRegimes, CampusIndexProperty,
+                         ::testing::Values(1, 12, 64, 150));
+
+
 using sim::from_millis;
 using sim::kSecond;
 

@@ -2,7 +2,9 @@
 // determinism of the clock, and the RNG substream contract.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,6 +67,71 @@ TEST(EventQueueTest, CancelHeadThenEmpty) {
   const EventId a = q.schedule(10, [] {});
   q.cancel(a);
   EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelDuringCallbackAffectsPendingOnly) {
+  EventQueue q;
+  int ran = 0;
+  EventId self = 0;
+  EventId victim = 0;
+  victim = q.schedule(20, [&] { ++ran; });
+  self = q.schedule(10, [&] {
+    q.cancel(victim);  // still pending: must not run
+    q.cancel(self);    // the running event's own id: harmless no-op
+    ++ran;
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueueTest, CancellingFiredIdsKeepsInternalStateBounded) {
+  // Regression: the lazy-cancellation design kept every cancelled id in a
+  // hash set, so cancelling ids that had already fired (the DRX/HARQ/RTO
+  // timer pattern) grew internal state without bound.
+  EventQueue q;
+  Time t = 0;
+  std::uint64_t fired = 0;
+  EventId last = q.schedule(++t, [&] { ++fired; });
+  for (int i = 0; i < 20'000; ++i) {
+    q.pop_and_run();
+    q.cancel(last);  // already fired: must be a stateless no-op
+    last = q.schedule(++t, [&] { ++fired; });
+  }
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, 20'001U);
+  // Only one event is ever pending, so the slot arena must stay at O(1)
+  // however many stale cancels arrived.
+  EXPECT_LE(q.slot_capacity(), 2U);
+  EXPECT_EQ(q.size(), 0U);
+}
+
+TEST(EventQueueTest, StaleIdCannotCancelRecycledSlot) {
+  EventQueue q;
+  int ran = 0;
+  const EventId a = q.schedule(1, [&] { ++ran; });
+  q.pop_and_run();
+  // The new event may reuse a's slot; the fired id must not touch it.
+  q.schedule(2, [&] { ++ran; });
+  q.cancel(a);
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(CallableTest, MoveOnlyAndLargeCapturesSurviveMoves) {
+  auto owned = std::make_unique<int>(7);
+  int got = 0;
+  Callable small([&got, p = std::move(owned)] { got = *p; });
+  Callable small_moved = std::move(small);
+  small_moved();
+  EXPECT_EQ(got, 7);
+
+  std::array<double, 16> big{};  // 128 bytes: exceeds the inline buffer
+  big[15] = 3.5;
+  double out = 0;
+  Callable large([big, &out] { out = big[15]; });
+  Callable large_moved = std::move(large);
+  large_moved();
+  EXPECT_DOUBLE_EQ(out, 3.5);
 }
 
 TEST(SimulatorTest, ClockFollowsEvents) {

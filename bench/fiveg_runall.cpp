@@ -9,9 +9,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "core/runner.h"
+#include "fault/fault.h"
 
 namespace {
 
@@ -36,6 +38,9 @@ options:
   --trace-capacity N
                 per-experiment trace ring capacity in events
                 (default 262144; oldest events drop first)
+  --faults PATH run every experiment under the fault plan at PATH (JSON,
+                schema "fiveg-faults/v1"); deterministic per-experiment
+                fault seeds, byte-identical at any --jobs
   --metrics     print each experiment's counters/profile to stderr
   --no-timing   omit wall-clock fields from the JSON and the trace
                 (byte-stable output)
@@ -118,6 +123,15 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.trace_capacity = static_cast<std::size_t>(cap);
+    } else if (arg == "--faults") {
+      const char* path = need_value();
+      try {
+        opt.faults = std::make_shared<fiveg::fault::FaultPlan>(
+            fiveg::fault::FaultPlan::load(path));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
     } else if (arg == "--metrics") {
       print_metrics = true;
     } else if (arg == "--no-timing") {

@@ -11,6 +11,9 @@
 #include <thread>
 #include <utility>
 
+#include <optional>
+
+#include "fault/fault.h"
 #include "measure/json.h"
 #include "obs/chrome_trace.h"
 #include "obs/obs.h"
@@ -45,6 +48,7 @@ struct ExecOptions {
   bool collect_metrics = true;
   bool trace = false;
   std::size_t trace_capacity = 0;
+  std::shared_ptr<const fault::FaultPlan> faults;
 };
 
 // Runs the experiment body, capturing text, metrics and exceptions. The
@@ -64,6 +68,19 @@ void execute(Experiment& exp, std::uint64_t seed, ExecState& state,
                                     : obs::Tracer::kDefaultCapacity);
   }
   const obs::ScopedObs scope(tracer.get(), registry.get());
+
+  // Fault injection: install the runtime before the experiment body runs,
+  // so every Simulator (which arms the plan at construction) and every
+  // injection point (which caches the runtime handle at construction) sees
+  // it. The fault seed is a named fork of the experiment seed — fault
+  // randomness never perturbs the experiment's own streams.
+  std::unique_ptr<fault::Runtime> fault_runtime;
+  std::optional<fault::ScopedFaults> fault_scope;
+  if (obs_opt.faults != nullptr && !obs_opt.faults->empty()) {
+    fault_runtime = std::make_unique<fault::Runtime>(
+        obs_opt.faults.get(), sim::Rng(seed).fork("fault").seed());
+    fault_scope.emplace(fault_runtime.get());
+  }
 
   ExperimentContext ctx;
   ctx.seed = seed;
@@ -132,7 +149,7 @@ ExperimentResult Runner::run_one(const std::string& name) const {
   res.seed = fork_seed(opt_.seed, name);
 
   const ExecOptions obs_opt{opt_.collect_metrics, opt_.trace,
-                            opt_.trace_capacity};
+                            opt_.trace_capacity, opt_.faults};
   const auto start = Clock::now();
   if (opt_.timeout_s <= 0) {
     execute(*exp, res.seed, *state, obs_opt);

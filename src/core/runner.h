@@ -8,11 +8,16 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/experiment.h"
+
+namespace fiveg::fault {
+class FaultPlan;
+}
 
 namespace fiveg::core {
 
@@ -28,6 +33,10 @@ struct RunnerOptions {
   bool collect_metrics = true;
   bool trace = false;
   std::size_t trace_capacity = 0;  // events per experiment; 0 = default
+  // Fault injection: every experiment runs under this plan (fault seeds
+  // are per-experiment forks, so the campaign stays --jobs-deterministic).
+  // Null or empty = no injection; the fault path is inert.
+  std::shared_ptr<const fault::FaultPlan> faults;
 };
 
 /// Outcome of a whole campaign. `results` is sorted by experiment name,

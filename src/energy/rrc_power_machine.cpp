@@ -295,6 +295,9 @@ EnergyResult RrcPowerMachine::replay(const TrafficTrace& trace,
         .observe(sim::to_millis(residency_connected));
   }
 
+  result.residency_idle = residency_idle;
+  result.residency_promoting = residency_promoting;
+  result.residency_connected = residency_connected;
   result.radio_joules = joules;
   result.mean_radio_mw =
       result.duration > 0 ? joules * 1000.0 / sim::to_seconds(result.duration)

@@ -34,6 +34,13 @@ struct EnergyResult {
   measure::TimeSeries power_trace_mw;  // radio draw at pwrStrip cadence
   double mean_radio_mw = 0.0;
   double served_bits = 0.0;
+  // Per-phase residency, one `step` per loop iteration. Their sum covers
+  // every integration step, i.e. equals `duration + step` (the loop runs
+  // t = 0..duration inclusive) — an invariant fault::InvariantChecker
+  // audits.
+  sim::Time residency_idle = 0;
+  sim::Time residency_promoting = 0;
+  sim::Time residency_connected = 0;
 
   /// Radio energy per served bit, microjoules.
   [[nodiscard]] double microjoules_per_bit() const noexcept {

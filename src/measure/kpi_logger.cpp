@@ -19,12 +19,6 @@ std::optional<std::reference_wrapper<const TimeSeries>> KpiLogger::find(
   return std::cref(it->second);
 }
 
-const TimeSeries& KpiLogger::series(const std::string& kpi) const {
-  static const TimeSeries kEmpty;
-  const auto it = series_.find(kpi);
-  return it == series_.end() ? kEmpty : it->second;
-}
-
 std::vector<SignalingEvent> KpiLogger::events_of_type(
     const std::string& type) const {
   std::vector<SignalingEvent> out;

@@ -30,22 +30,14 @@ class KpiLogger {
   /// Appends a signalling event.
   void log_event(sim::Time at, std::string type, std::string detail = {});
 
-  /// Series for one KPI, or nothing if that KPI was never logged.
-  /// Preferred over series(): the empty case is explicit, and the
-  /// reference (when present) always points into THIS logger.
+  /// Series for one KPI, or nothing if that KPI was never logged. The
+  /// empty case is explicit, and the reference (when present) always
+  /// points into THIS logger. (The old series() accessor — which aliased
+  /// every never-logged KPI to one shared empty series — is gone; new
+  /// instrumentation should prefer the obs layer, obs::metrics() /
+  /// obs::tracer(), over growing this logger.)
   [[nodiscard]] std::optional<std::reference_wrapper<const TimeSeries>> find(
       const std::string& kpi) const;
-
-  /// Series for one KPI.
-  ///
-  /// DEPRECATED in favour of find(): a KPI that was never logged returns a
-  /// reference to a single shared immutable empty series, NOT a slot in
-  /// this logger — so `&logger.series("typo") == &other.series("typo")`,
-  /// and the reference stays valid after the logger dies. Never cast away
-  /// const on the result; use has() to distinguish "never logged" from
-  /// "logged but empty". New instrumentation should prefer the obs layer
-  /// (obs::metrics()/obs::tracer()) over growing this logger.
-  [[nodiscard]] const TimeSeries& series(const std::string& kpi) const;
 
   /// True iff `kpi` has at least one logged observation.
   [[nodiscard]] bool has(const std::string& kpi) const {

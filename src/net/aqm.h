@@ -26,6 +26,7 @@ class QueueDiscipline {
   virtual std::optional<Packet> pop(sim::Time now) = 0;
 
   [[nodiscard]] virtual bool empty() const = 0;
+  [[nodiscard]] virtual std::uint64_t size_packets() const = 0;
   [[nodiscard]] virtual std::uint64_t size_bytes() const = 0;
   [[nodiscard]] virtual std::uint64_t drops() const = 0;
   [[nodiscard]] virtual std::uint64_t max_depth_bytes() const = 0;
@@ -47,6 +48,9 @@ class CoDelQueue final : public QueueDiscipline {
   std::optional<Packet> pop(sim::Time now) override;
 
   [[nodiscard]] bool empty() const override { return q_.empty(); }
+  [[nodiscard]] std::uint64_t size_packets() const override {
+    return q_.size();
+  }
   [[nodiscard]] std::uint64_t size_bytes() const override { return bytes_; }
   [[nodiscard]] std::uint64_t drops() const override { return drops_; }
   [[nodiscard]] std::uint64_t max_depth_bytes() const override {

@@ -27,10 +27,22 @@ Link::Link(sim::Simulator* simulator, Config config, PacketSink* sink)
     codel_ = std::make_unique<CoDelQueue>(ccfg);
   }
   tracer_ = obs::tracer();
+  fault_ = fault::runtime();
+  if (fault_ != nullptr) {
+    // One private drop stream per link name: injected loss draws never
+    // interleave with (or shift) any model stream, and the per-name fork
+    // keeps the draw sequence independent of link construction order.
+    fault_rng_ = std::make_unique<sim::Rng>(
+        sim::Rng(fault_->seed()).fork("fault.link." + config_.name));
+  }
   if (auto* m = obs::metrics()) {
     // The link name is a proper dimension, not a name suffix: canonical
     // `net.queue.drops{link=ran-nr}` groups all links under one KPI family.
     drops_ctr_ = &m->counter("net.queue.drops", {{"link", config_.name}});
+    if (fault_ != nullptr) {
+      fault_drops_ctr_ =
+          &m->counter("fault.link_drops", {{"link", config_.name}});
+    }
     queue_hwm_ = &m->gauge("net.queue.hwm_bytes", {{"link", config_.name}});
     if (!codel_) {
       sojourn_ms_ =
@@ -54,6 +66,15 @@ double Link::current_rate_bps() const {
 }
 
 void Link::send(Packet p) {
+  ++offered_packets_;
+  if (fault_ != nullptr) {
+    const double loss = fault_->link_loss(config_.name);
+    if (loss > 0.0 && fault_rng_->bernoulli(loss)) {
+      ++fault_dropped_packets_;
+      if (fault_drops_ctr_ != nullptr) fault_drops_ctr_->add();
+      return;
+    }
+  }
   const bool accepted = codel_ ? codel_->push(std::move(p), sim_->now())
                                : queue_.push(std::move(p));
   if (!accepted) {  // dropped on entry
@@ -106,6 +127,7 @@ void Link::try_transmit() {
       enqueue_at_.pop_front();
     }
   }
+  ++in_transit_packets_;
   const double bits = 8.0 * static_cast<double>(p.size_bytes);
   const auto tx_time = static_cast<sim::Time>(
       bits / rate * static_cast<double>(sim::kSecond));
@@ -118,6 +140,8 @@ void Link::try_transmit() {
 void Link::finish_transmit(Packet p) {
   sim::Time delay = config_.prop_delay;
   if (config_.extra_delay_fn) delay += config_.extra_delay_fn(p);
+  if (fault_ != nullptr) delay += fault_->link_extra_delay(config_.name);
+  --in_transit_packets_;
   ++delivered_packets_;
   delivered_bytes_ += p.size_bytes;
   if (sink_ != nullptr) {

@@ -10,9 +10,11 @@
 #include <memory>
 #include <string>
 
+#include "fault/fault.h"
 #include "net/aqm.h"
 #include "net/packet.h"
 #include "net/queue.h"
+#include "sim/rng.h"
 #include "sim/simulator.h"
 
 namespace fiveg::net {
@@ -63,6 +65,21 @@ class Link {
   [[nodiscard]] std::uint64_t queue_bytes() const noexcept {
     return codel_ ? codel_->size_bytes() : queue_.size_bytes();
   }
+  [[nodiscard]] std::uint64_t queue_packets() const noexcept {
+    return codel_ ? codel_->size_packets() : queue_.size_packets();
+  }
+  // Packet-conservation ledger (see fault::InvariantChecker): every packet
+  // offered to send() is exactly one of fault-dropped, queue-dropped,
+  // delivered, still queued, or in flight between pop and delivery.
+  [[nodiscard]] std::uint64_t offered_packets() const noexcept {
+    return offered_packets_;
+  }
+  [[nodiscard]] std::uint64_t fault_dropped_packets() const noexcept {
+    return fault_dropped_packets_;
+  }
+  [[nodiscard]] std::uint64_t in_transit_packets() const noexcept {
+    return in_transit_packets_;
+  }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
 
  private:
@@ -93,6 +110,16 @@ class Link {
 
   std::uint64_t delivered_packets_ = 0;
   std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t offered_packets_ = 0;
+  std::uint64_t in_transit_packets_ = 0;
+
+  // Fault injection (null / unused when no fault::Runtime is installed at
+  // construction). The drop RNG is a private per-link fork of the fault
+  // seed, so injected loss never perturbs any other random stream.
+  fault::Runtime* fault_ = nullptr;
+  std::unique_ptr<sim::Rng> fault_rng_;
+  obs::Counter* fault_drops_ctr_ = nullptr;
+  std::uint64_t fault_dropped_packets_ = 0;
 };
 
 }  // namespace fiveg::net

@@ -32,7 +32,8 @@ RadioEnvironment::RadioEnvironment(const geo::CampusMap* campus,
                                    double corr_dist_m)
     : campus_(campus),
       shadow_lte_(seed ^ kLteFieldSalt, sigma_db, corr_dist_m),
-      shadow_nr_(seed ^ kNrFieldSalt, sigma_db, corr_dist_m) {
+      shadow_nr_(seed ^ kNrFieldSalt, sigma_db, corr_dist_m),
+      fault_(fault::runtime()) {
   // Sized for one coverage-grid sweep of the full deployment: ~2.3k grid
   // points times ~19 distinct mast positions over two bands.
   link_memo_.assign(65536, LinkSlot{});
@@ -78,7 +79,10 @@ double RadioEnvironment::path_gain_db(const CarrierConfig& c, const TxSite& tx,
   const LinkTerms lt = link_terms(tx.pos, ue, c.freq_ghz);
   // Outdoor blockage is statistically inside the NLoS fit; explicit
   // penetration applies only when the UE itself is indoors (O2I).
-  const double pen = campus_->o2i_loss_db(ue, c.freq_ghz);
+  double pen = campus_->o2i_loss_db(ue, c.freq_ghz);
+  // Coverage-hole fault windows add a flat offset here so every cell and
+  // both bands see the same hole (same association as rsrp_dbm_all).
+  if (fault_ != nullptr) pen += fault_->coverage_offset_db();
   // The shadowing field is sampled at the UE end; using one end keeps the
   // field consistent when comparing co-sited cells from the same spot.
   const double shadow = field_for(c).at(ue);

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fault/fault.h"
 #include "geo/campus.h"
 #include "radio/antenna.h"
 #include "radio/carrier.h"
@@ -55,7 +56,10 @@ class RadioEnvironment {
   void rsrp_dbm_all(const CarrierConfig& c, Iter first, Iter last, Proj proj,
                     const geo::Point& ue, std::vector<double>& out) const {
     out.clear();
-    const double pen = campus_->o2i_loss_db(ue, c.freq_ghz);
+    double pen = campus_->o2i_loss_db(ue, c.freq_ghz);
+    // Coverage-hole windows add a flat shadowing offset on top of the O2I
+    // term; inert (and bit-identical) when no fault runtime is installed.
+    if (fault_ != nullptr) pen += fault_->coverage_offset_db();
     const double shadow = field_for(c).at(ue);
     const geo::Point* prev = nullptr;
     LinkTerms lt{};
@@ -107,6 +111,8 @@ class RadioEnvironment {
   const geo::CampusMap* campus_;
   ShadowingField shadow_lte_;
   ShadowingField shadow_nr_;
+  // Captured at construction; null when fault injection is off.
+  fault::Runtime* fault_;
 
   struct LinkSlot {
     std::uint64_t px = 0, py = 0, ux = 0, uy = 0, fb = 0;

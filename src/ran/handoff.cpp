@@ -19,7 +19,9 @@ HandoffEngine::HandoffEngine(sim::Simulator* simulator,
       log_(logger),
       nsa_(config.nsa),
       a3_nr_(config.a3),
-      a3_lte_(config.a3) {}
+      a3_lte_(config.a3) {
+  fault_ = fault::runtime();
+}
 
 void HandoffEngine::start(geo::Route route) {
   route_ = std::move(route);
@@ -31,6 +33,20 @@ void HandoffEngine::start(geo::Route route) {
   const CellMeasurement best_lte = dep_->best(radio::Rat::kLte, pos);
   lte_ = best_lte.cell;
   nr_ = nullptr;
+  // Under fault injection the best cell may already be in outage; camp on
+  // the strongest live one instead.
+  if (fault_ != nullptr && lte_ != nullptr && fault_->cell_down(lte_->pci)) {
+    lte_ = nullptr;
+    double best_rsrp = -1e9;
+    for (const CellMeasurement& m : dep_->measure(radio::Rat::kLte, pos)) {
+      if (fault_->cell_down(m.cell->pci)) continue;
+      if (lte_ == nullptr || m.rsrp_dbm > best_rsrp) {
+        lte_ = m.cell;
+        best_rsrp = m.rsrp_dbm;
+      }
+    }
+  }
+  note_rrc_state();
 
   sim_->schedule_in(0, "ran.mobility_step", [this] { step(); });
 }
@@ -49,8 +65,17 @@ bool HandoffEngine::data_interrupted(sim::Time at) const noexcept {
   const auto it = std::upper_bound(
       interruptions_.begin(), interruptions_.end(), at,
       [](sim::Time t, const Interruption& i) { return t < i.begin; });
-  if (it == interruptions_.begin()) return false;
-  return at < std::prev(it)->end;
+  if (it == interruptions_.begin()) {
+    return serving_gap_at(at);
+  }
+  return at < std::prev(it)->end || serving_gap_at(at);
+}
+
+bool HandoffEngine::serving_gap_at(sim::Time at) const noexcept {
+  for (const ServingGap& g : gaps_) {
+    if (at >= g.begin && (g.end < 0 || at < g.end)) return true;
+  }
+  return false;
 }
 
 const Cell* HandoffEngine::anchor_for(const Cell& nr_cell,
@@ -59,6 +84,9 @@ const Cell* HandoffEngine::anchor_for(const Cell& nr_cell,
   double best_rsrp = -1e9;
   for (const Cell& c : dep_->cells(radio::Rat::kLte)) {
     if (c.site_id != nr_cell.site_id) continue;
+    // An anchor in (injected) outage cannot host the leg; keep the current
+    // live anchor rather than re-attaching to a dead cell.
+    if (fault_ != nullptr && fault_->cell_down(c.pci)) continue;
     const double rsrp =
         dep_->env().rsrp_dbm(dep_->carrier(radio::Rat::kLte), c.site, ue);
     if (best == nullptr || rsrp > best_rsrp) {
@@ -112,6 +140,16 @@ void HandoffEngine::step() {
   const auto lte_meas = dep_->measure(radio::Rat::kLte, pos);
   const auto nr_meas = dep_->measure(radio::Rat::kNr, pos);
   log_kpis(pos, lte_meas, nr_meas);
+
+  if (fault_ != nullptr && !ho_in_progress_ && !reestablishing_) {
+    handle_outages();
+  }
+  if (reestablishing_) {
+    // No serving cell: nothing to hand off until re-establishment lands.
+    sim_->schedule_in(config_.sample_period, "ran.mobility_step",
+                      [this] { step(); });
+    return;
+  }
 
   if (!ho_in_progress_) {
     // --- Vertical transitions (NSA leg add/drop) ---
@@ -247,6 +285,26 @@ void HandoffEngine::begin_handoff(HandoffType type, const Cell* from,
 void HandoffEngine::complete_handoff(std::size_t record_idx, HandoffType type,
                                      const Cell* target) {
   ho_in_progress_ = false;
+  // Mid-hand-off sector outage: the target died while signalling was in
+  // flight, so the hand-off aborts and the UE stays where it was (the A3 /
+  // NSA machinery will re-trigger from scratch). A 5G→4G leg drop always
+  // completes — it releases the NR leg rather than acquiring anything; a
+  // dead LTE target is picked up as an anchor RLF on the next sample.
+  if (fault_ != nullptr && target != nullptr &&
+      type != HandoffType::k5G4G && fault_->cell_down(target->pci)) {
+    records_[record_idx].aborted = true;
+    if (log_ != nullptr) {
+      log_->log_event(sim_->now(), "HO_ABORT",
+                      to_string(type) + " target pci=" +
+                          std::to_string(target->pci) + " in outage");
+    }
+    if (auto* t = obs::tracer()) t->end(sim_->now(), "ran.handoff", "ran");
+    if (auto* m = obs::metrics()) {
+      m->counter("ran.handoff.aborted").add();
+      m->counter("fault.handoff_aborts", {{"type", to_string(type)}}).add();
+    }
+    return;
+  }
   const geo::Point pos = position_at(sim_->now());
   switch (type) {
     case HandoffType::k4G4G:
@@ -266,6 +324,7 @@ void HandoffEngine::complete_handoff(std::size_t record_idx, HandoffType type,
       nsa_.complete(type);
       break;
   }
+  note_rrc_state();
   if (log_ != nullptr) {
     log_->log_event(sim_->now(), "HO_COMPLETE", to_string(type));
   }
@@ -273,6 +332,100 @@ void HandoffEngine::complete_handoff(std::size_t record_idx, HandoffType type,
   if (auto* m = obs::metrics()) m->counter("ran.handoff.completed").add();
   sim_->schedule_in(config_.after_sample_delay, "ran.ho_quality_sample",
                     [this, record_idx] { sample_quality_after(record_idx); });
+}
+
+RrcState HandoffEngine::current_rrc_state() const noexcept {
+  if (lte_ == nullptr) return RrcState::kIdle;
+  return nr_ != nullptr ? RrcState::kConnectedNr : RrcState::kConnectedLte;
+}
+
+void HandoffEngine::note_rrc_state() {
+  const RrcState state = current_rrc_state();
+  if (!rrc_log_.empty() && rrc_log_.back().second == state) return;
+  rrc_log_.emplace_back(sim_->now(), state);
+}
+
+void HandoffEngine::handle_outages() {
+  // Secondary-leg death is silent from the anchor's point of view: the NR
+  // leg just drops (no signalling) and the NSA controller starts over.
+  if (nr_ != nullptr && fault_->cell_down(nr_->pci)) {
+    const int pci = nr_->pci;
+    nr_ = nullptr;
+    nsa_.radio_link_failure();
+    a3_nr_.reset();
+    note_rrc_state();
+    if (log_ != nullptr) {
+      log_->log_event(sim_->now(), "RLF",
+                      "nr leg lost, pci=" + std::to_string(pci));
+    }
+    if (auto* m = obs::metrics()) {
+      m->counter("fault.rlf", {{"leg", "nr"}}).add();
+    }
+  }
+  // Anchor death takes the whole connection down: RRC re-establishment.
+  if (lte_ != nullptr && fault_->cell_down(lte_->pci)) {
+    begin_reestablishment();
+  }
+}
+
+void HandoffEngine::begin_reestablishment() {
+  const int pci = lte_->pci;
+  reestablishing_ = true;
+  lte_ = nullptr;
+  nr_ = nullptr;
+  nsa_.radio_link_failure();
+  a3_nr_.reset();
+  a3_lte_.reset();
+  gaps_.push_back({sim_->now(), -1});
+  note_rrc_state();
+  if (log_ != nullptr) {
+    log_->log_event(sim_->now(), "RLF",
+                    "anchor lost, pci=" + std::to_string(pci) +
+                        ", re-establishing");
+  }
+  if (auto* t = obs::tracer()) {
+    t->instant(sim_->now(), "ran.rlf", "ran",
+               {{"pci", std::to_string(pci)}});
+  }
+  if (auto* m = obs::metrics()) {
+    m->counter("fault.rlf", {{"leg", "anchor"}}).add();
+    m->counter("ran.rrc.reestablishments").add();
+  }
+  // RLF declaration plus the re-establishment exchange; the serving gap is
+  // bounded by config_.reestablish.bound() whenever any live cell exists.
+  sim_->schedule_in(config_.reestablish.bound(), "ran.rrc_reestablish",
+                    [this] { try_reestablish(); });
+}
+
+void HandoffEngine::try_reestablish() {
+  const geo::Point pos = position_at(sim_->now());
+  const Cell* best = nullptr;
+  double best_rsrp = -1e9;
+  for (const CellMeasurement& m : dep_->measure(radio::Rat::kLte, pos)) {
+    if (fault_->cell_down(m.cell->pci)) continue;
+    if (best == nullptr || m.rsrp_dbm > best_rsrp) {
+      best = m.cell;
+      best_rsrp = m.rsrp_dbm;
+    }
+  }
+  if (best == nullptr) {
+    // Every candidate is in outage; keep retrying (bounded-gap recovery
+    // resumes as soon as a restore toggle fires).
+    sim_->schedule_in(config_.reestablish.procedure, "ran.rrc_reestablish",
+                      [this] { try_reestablish(); });
+    return;
+  }
+  lte_ = best;
+  reestablishing_ = false;
+  gaps_.back().end = sim_->now();
+  note_rrc_state();
+  if (log_ != nullptr) {
+    log_->log_event(sim_->now(), "RRC_REESTABLISHED",
+                    "pci=" + std::to_string(best->pci));
+  }
+  if (auto* m = obs::metrics()) {
+    m->counter("ran.rrc.reestablished").add();
+  }
 }
 
 void HandoffEngine::sample_quality_after(std::size_t record_idx) {

@@ -7,13 +7,16 @@
 
 #include <functional>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "fault/fault.h"
 #include "geo/route.h"
 #include "measure/kpi_logger.h"
 #include "ran/deployment.h"
 #include "ran/measurement_events.h"
 #include "ran/nsa_signaling.h"
+#include "ran/rrc.h"
 #include "ran/ue.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
@@ -30,6 +33,9 @@ struct HandoffRecord {
   double quality_before_db = 0;   // serving RSRQ at trigger
   double quality_after_db = 0;    // serving RSRQ shortly after completion
   bool after_recorded = false;    // false if the run ended too early
+  // The target cell went into (injected) outage while signalling was in
+  // flight: the hand-off ended without switching cells.
+  bool aborted = false;
 };
 
 /// A data-plane interruption window caused by a hand-off.
@@ -47,6 +53,9 @@ struct MobilityConfig {
   NsaUe::Config nsa;
   // Delay after hand-off completion at which "quality after" is sampled.
   sim::Time after_sample_delay = sim::from_millis(500);
+  // Radio-link-failure recovery timing (only exercised under fault
+  // injection; see fault::FaultKind::kSectorOutage).
+  ReestablishTimers reestablish;
 };
 
 /// Event-driven hand-off engine for one UE.
@@ -80,8 +89,37 @@ class HandoffEngine {
   [[nodiscard]] const Cell* serving_nr() const noexcept { return nr_; }
   [[nodiscard]] bool nr_attached() const noexcept { return nr_ != nullptr; }
 
+  /// A window during which the UE had no serving cell at all (anchor lost
+  /// to radio-link failure, re-establishment pending). `end == -1` marks a
+  /// gap still open when the run ended.
+  struct ServingGap {
+    sim::Time begin = 0;
+    sim::Time end = -1;
+  };
+  [[nodiscard]] const std::vector<ServingGap>& serving_gaps() const noexcept {
+    return gaps_;
+  }
+  /// True while the UE is between radio-link failure and re-attachment.
+  [[nodiscard]] bool reestablishing() const noexcept {
+    return reestablishing_;
+  }
+  /// Every RRC state change, in time order (starts with the initial
+  /// attachment). Audited by fault::InvariantChecker::check_rrc_legality.
+  [[nodiscard]] const std::vector<std::pair<sim::Time, RrcState>>&
+  rrc_trajectory() const noexcept {
+    return rrc_log_;
+  }
+
  private:
   void step();
+  // Sector-outage handling (no-ops without an installed fault runtime):
+  // drops a dead NR leg, declares radio-link failure on a dead anchor.
+  void handle_outages();
+  void begin_reestablishment();
+  void try_reestablish();
+  [[nodiscard]] bool serving_gap_at(sim::Time at) const noexcept;
+  [[nodiscard]] RrcState current_rrc_state() const noexcept;
+  void note_rrc_state();
   void begin_handoff(HandoffType type, const Cell* from, const Cell* to,
                      double quality_before_db);
   void complete_handoff(std::size_t record_idx, HandoffType type,
@@ -112,6 +150,12 @@ class HandoffEngine {
 
   std::vector<HandoffRecord> records_;
   std::vector<Interruption> interruptions_;
+
+  // Fault injection (null when no fault::Runtime is installed).
+  fault::Runtime* fault_ = nullptr;
+  bool reestablishing_ = false;
+  std::vector<ServingGap> gaps_;
+  std::vector<std::pair<sim::Time, RrcState>> rrc_log_;
 };
 
 }  // namespace fiveg::ran

@@ -20,6 +20,42 @@ enum class RrcState {
 
 [[nodiscard]] std::string to_string(RrcState s);
 
+/// Whether `from` → `to` is a legal NSA RRC transition. Self-loops are
+/// legal (re-sampling the same state). The key asymmetry: the NR leg can
+/// only be added from the LTE connected state (idle/inactive UEs must camp
+/// on the anchor first), which is the mechanism behind the paper's doubled
+/// promotion latency. Used by fault::InvariantChecker to audit recorded
+/// state trajectories under fault injection.
+[[nodiscard]] constexpr bool rrc_transition_legal(RrcState from,
+                                                  RrcState to) noexcept {
+  if (from == to) return true;
+  switch (from) {
+    case RrcState::kIdle:
+      return to == RrcState::kConnectedLte;
+    case RrcState::kConnectedLte:
+      return to == RrcState::kConnectedNr || to == RrcState::kIdle ||
+             to == RrcState::kInactive;
+    case RrcState::kConnectedNr:
+      return to == RrcState::kConnectedLte || to == RrcState::kIdle ||
+             to == RrcState::kInactive;
+    case RrcState::kInactive:
+      return to == RrcState::kConnectedLte || to == RrcState::kIdle;
+  }
+  return false;
+}
+
+/// RRC re-establishment timing after radio-link failure (TS 36.331-style
+/// T310 detection + the re-establishment procedure itself). `bound()` is
+/// the invariant ceiling: a UE whose serving cell dies must be camped on a
+/// live cell again within detection + procedure of each retry round.
+struct ReestablishTimers {
+  sim::Time detection = sim::from_millis(200);   // RLF declaration (T310)
+  sim::Time procedure = sim::from_millis(150);   // re-establishment exchange
+  [[nodiscard]] sim::Time bound() const noexcept {
+    return detection + procedure;
+  }
+};
+
 /// Table 7 of the paper: DRX / promotion / tail timers as observed via
 /// XCAL on the measured network.
 struct DrxConfig {

@@ -39,6 +39,14 @@ class NsaUe {
   /// Commits the pending vertical transition once signalling finishes.
   void complete(HandoffType t) noexcept;
 
+  /// Radio-link failure: the NR leg (if any) is lost instantly, without
+  /// signalling, and any pending dwell decision is abandoned.
+  void radio_link_failure() noexcept {
+    nr_attached_ = false;
+    add_dwell_since_ = kNotDwelling;
+    drop_dwell_since_ = kNotDwelling;
+  }
+
  private:
   static constexpr sim::Time kNotDwelling = -1;
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace fiveg::sim {
@@ -38,6 +39,10 @@ Simulator::Simulator()
     }
     instances.add();
   }
+  // With a fault::Runtime installed on this thread, schedule the plan's
+  // window toggles as ordinary events on this timeline; without one this
+  // is a no-op (the fault path stays inert).
+  fault::arm(*this);
 }
 
 Simulator::~Simulator() {

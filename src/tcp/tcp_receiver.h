@@ -28,6 +28,13 @@ class TcpReceiver final : public net::PacketSink {
     return cum_ack_;
   }
 
+  /// Distinct payload bytes ever stored (contiguous + held out of order).
+  /// fault::InvariantChecker bounds it by the sender's send high-water
+  /// mark: the receiver cannot accept bytes that were never sent.
+  [[nodiscard]] std::uint64_t total_accepted() const noexcept {
+    return total_accepted_;
+  }
+
   /// Per-arrival goodput log (bits per in-order delivery event).
   [[nodiscard]] const measure::TimeSeries& goodput_log() const noexcept {
     return goodput_log_;

@@ -17,6 +17,13 @@ TcpSender::TcpSender(sim::Simulator* simulator, TcpConfig config,
       cc_(make_congestion_control(config.algo, config.mss_bytes, config.seed)),
       rtt_(config.min_rto, config.initial_rto) {
   tracer_ = obs::tracer();
+  fault_ = fault::runtime();
+  // Only the server-stall injector lives here; skip the per-send check
+  // entirely for plans that never stall.
+  if (fault_ != nullptr &&
+      !fault_->plan().has_kind(fault::FaultKind::kServerStall)) {
+    fault_ = nullptr;
+  }
   if (auto* m = obs::metrics()) {
     retx_ctr_ = &m->counter("tcp.retransmissions");
     loss_ctr_ = &m->counter("tcp.loss_episodes");
@@ -69,6 +76,20 @@ bool TcpSender::data_available(std::uint64_t seq) const {
 }
 
 void TcpSender::try_send() {
+  if (fault_ != nullptr && fault_->server_stalled()) {
+    // The application stopped writing: no new data until the window ends.
+    // A fully-drained flow gets no more ACK pokes, so poll for the resume
+    // (single-flight, like the pacing timer).
+    if (!stall_poll_pending_ && data_available(snd_nxt_)) {
+      stall_poll_pending_ = true;
+      sim_->schedule_in(10 * sim::kMillisecond, "fault.app_stall_poll",
+                        [this] {
+                          stall_poll_pending_ = false;
+                          try_send();
+                        });
+    }
+    return;
+  }
   const double pacing_bps = cc_->pacing_rate_bps();
   while (data_available(snd_nxt_) &&
          bytes_in_flight() + config_.mss_bytes <= effective_window()) {
@@ -269,6 +290,7 @@ void TcpSender::retransmit_holes() {
 
 void TcpSender::enter_fast_retransmit() {
   in_recovery_ = true;
+  ++fast_recoveries_;
   recovery_point_ = snd_nxt_;
   retx_next_ = snd_una_;
   dupacks_ = 0;

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 
+#include "fault/fault.h"
 #include "measure/timeseries.h"
 #include "net/packet.h"
 #include "sim/simulator.h"
@@ -49,6 +50,15 @@ class TcpSender final : public net::PacketSink {
     return retransmissions_;
   }
   [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] std::uint64_t fast_recoveries() const noexcept {
+    return fast_recoveries_;
+  }
+  /// High-water mark of bytes ever sent (fault::InvariantChecker compares
+  /// it against the receiver's accounting: no delivery without a send).
+  [[nodiscard]] std::uint64_t max_sent_seq() const noexcept {
+    return max_sent_seq_;
+  }
+  [[nodiscard]] const TcpConfig& config() const noexcept { return config_; }
   [[nodiscard]] const RttEstimator& rtt() const noexcept { return rtt_; }
   [[nodiscard]] const CongestionControl& cc() const noexcept { return *cc_; }
   [[nodiscard]] std::uint64_t bytes_in_flight() const noexcept {
@@ -121,7 +131,15 @@ class TcpSender final : public net::PacketSink {
 
   std::uint64_t retransmissions_ = 0;
   std::uint64_t timeouts_ = 0;
+  std::uint64_t fast_recoveries_ = 0;
   measure::TimeSeries cwnd_log_;
+
+  // Server-stall fault injection (null unless a plan with a server_stall
+  // window is installed at construction). While stalled, no *new* data is
+  // clocked out — retransmissions and ACK processing continue, like a
+  // sender whose application stopped writing.
+  fault::Runtime* fault_ = nullptr;
+  bool stall_poll_pending_ = false;  // single-flight resume wake-up
 
   // Observability handles, resolved once at construction (null without a
   // scope on the constructing thread).

@@ -267,9 +267,8 @@ TEST(KpiLoggerTest, SeriesAndEvents) {
   ASSERT_TRUE(rsrp.has_value());
   EXPECT_EQ(rsrp->get().size(), 2u);
   EXPECT_FALSE(log.find("unknown").has_value());
-  // Deprecated shared-empty-series accessor still works for old callers.
-  EXPECT_EQ(log.series("rsrp_dbm").size(), 2u);
-  EXPECT_EQ(log.series("unknown").size(), 0u);
+  EXPECT_TRUE(log.has("rsrp_dbm"));
+  EXPECT_FALSE(log.has("unknown"));
   EXPECT_EQ(log.events().size(), 2u);
   EXPECT_EQ(log.events_of_type("A3_TRIGGER").size(), 1u);
   EXPECT_EQ(log.events_of_type("A3_TRIGGER")[0].detail, "pci=226 -> pci=44");

@@ -9,60 +9,67 @@
 #
 # Invoked as:
 #   cmake -DRUNALL=<path-to-fiveg_runall> [-DREPORT=<path-to-fiveg_report>]
+#         [-DFAULTS=<path-to-fault-plan.json>] [-DJOBS=<N;N;...>]
 #         -DWORK_DIR=<dir> -P runall_determinism.cmake
+#
+# FAULTS runs the whole campaign under the given fault plan; injected
+# faults may legitimately fail an experiment's in-run assertions, so under
+# FAULTS a nonzero exit is tolerated as long as every run exits
+# identically (determinism is the contract under test, not KPI health).
+# JOBS lists the parallel worker counts compared against the serial run
+# (default: 8).
 if(NOT RUNALL OR NOT WORK_DIR)
   message(FATAL_ERROR "RUNALL and WORK_DIR must be set")
+endif()
+if(NOT JOBS)
+  set(JOBS 8)
 endif()
 file(MAKE_DIRECTORY ${WORK_DIR})
 
 set(common --smoke --seed 42 --timeout 300 --no-timing)
-
-execute_process(
-  COMMAND ${RUNALL} ${common} --jobs 1 --json ${WORK_DIR}/serial.json
-          --trace ${WORK_DIR}/serial.trace.json
-  OUTPUT_FILE ${WORK_DIR}/serial.txt
-  ERROR_VARIABLE serial_err
-  RESULT_VARIABLE serial_rc)
-if(NOT serial_rc EQUAL 0)
-  message(FATAL_ERROR "serial run failed (rc=${serial_rc}): ${serial_err}")
+if(FAULTS)
+  list(APPEND common --faults ${FAULTS})
 endif()
 
-execute_process(
-  COMMAND ${RUNALL} ${common} --jobs 8 --json ${WORK_DIR}/parallel.json
-          --trace ${WORK_DIR}/parallel.trace.json
-  OUTPUT_FILE ${WORK_DIR}/parallel.txt
-  ERROR_VARIABLE parallel_err
-  RESULT_VARIABLE parallel_rc)
-if(NOT parallel_rc EQUAL 0)
-  message(FATAL_ERROR "parallel run failed (rc=${parallel_rc}): ${parallel_err}")
-endif()
+function(run_campaign side jobs)
+  execute_process(
+    COMMAND ${RUNALL} ${common} --jobs ${jobs} --json ${WORK_DIR}/${side}.json
+            --trace ${WORK_DIR}/${side}.trace.json
+    OUTPUT_FILE ${WORK_DIR}/${side}.txt
+    ERROR_VARIABLE run_err
+    RESULT_VARIABLE run_rc)
+  if(NOT run_rc EQUAL 0 AND NOT FAULTS)
+    message(FATAL_ERROR "${side} run failed (rc=${run_rc}): ${run_err}")
+  endif()
+  set(${side}_rc ${run_rc} PARENT_SCOPE)
+endfunction()
 
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files
-          ${WORK_DIR}/serial.txt ${WORK_DIR}/parallel.txt
-  RESULT_VARIABLE text_diff)
-if(NOT text_diff EQUAL 0)
-  message(FATAL_ERROR "--jobs 8 text output differs from --jobs 1")
-endif()
+run_campaign(serial 1)
 
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files
-          ${WORK_DIR}/serial.json ${WORK_DIR}/parallel.json
-  RESULT_VARIABLE json_diff)
-if(NOT json_diff EQUAL 0)
-  message(FATAL_ERROR "--jobs 8 JSON output differs from --jobs 1")
-endif()
-
-execute_process(
-  COMMAND ${CMAKE_COMMAND} -E compare_files
-          ${WORK_DIR}/serial.trace.json ${WORK_DIR}/parallel.trace.json
-  RESULT_VARIABLE trace_diff)
-if(NOT trace_diff EQUAL 0)
-  message(FATAL_ERROR "--jobs 8 trace output differs from --jobs 1")
-endif()
+foreach(jobs ${JOBS})
+  set(side parallel${jobs})
+  run_campaign(${side} ${jobs})
+  if(NOT ${side}_rc EQUAL ${serial_rc})
+    message(FATAL_ERROR
+            "--jobs ${jobs} exit code ${${side}_rc} differs from "
+            "--jobs 1 exit code ${serial_rc}")
+  endif()
+  foreach(artifact txt json trace.json)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              ${WORK_DIR}/serial.${artifact} ${WORK_DIR}/${side}.${artifact}
+      RESULT_VARIABLE diff)
+    if(NOT diff EQUAL 0)
+      message(FATAL_ERROR
+              "--jobs ${jobs} ${artifact} output differs from --jobs 1")
+    endif()
+  endforeach()
+endforeach()
 
 if(REPORT)
-  foreach(side serial parallel)
+  list(GET JOBS 0 first_jobs)
+  set(sides serial parallel${first_jobs})
+  foreach(side ${sides})
     execute_process(
       COMMAND ${REPORT} --in ${WORK_DIR}/${side}.json
               --out-dir ${WORK_DIR}/${side}_report
@@ -83,11 +90,13 @@ if(REPORT)
   foreach(f ${report_files})
     execute_process(
       COMMAND ${CMAKE_COMMAND} -E compare_files
-              ${WORK_DIR}/serial_report/${f} ${WORK_DIR}/parallel_report/${f}
+              ${WORK_DIR}/serial_report/${f}
+              ${WORK_DIR}/parallel${first_jobs}_report/${f}
       RESULT_VARIABLE report_diff)
     if(NOT report_diff EQUAL 0)
       message(FATAL_ERROR
-              "report artifact ${f} differs between --jobs 1 and --jobs 8")
+              "report artifact ${f} differs between --jobs 1 and "
+              "--jobs ${first_jobs}")
     endif()
   endforeach()
   list(LENGTH report_files report_count)

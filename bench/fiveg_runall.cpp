@@ -13,7 +13,9 @@
 #include <string>
 
 #include "core/runner.h"
+#include "core/scenario.h"
 #include "fault/fault.h"
+#include "net/aqm.h"
 
 namespace {
 
@@ -41,6 +43,10 @@ options:
   --faults PATH run every experiment under the fault plan at PATH (JSON,
                 schema "fiveg-faults/v1"); deterministic per-experiment
                 fault seeds, byte-identical at any --jobs
+  --qdisc SPEC  queue discipline at every testbed's wireline bottleneck:
+                droptail (default), codel, fq_codel or red, with an
+                optional +ecn suffix (e.g. codel+ecn). Experiments that
+                pin their own qdisc (the AQM sweeps) are unaffected.
   --metrics     print each experiment's counters/profile to stderr
   --no-timing   omit wall-clock fields from the JSON and the trace
                 (byte-stable output)
@@ -132,6 +138,15 @@ int main(int argc, char** argv) {
         std::cerr << e.what() << "\n";
         return 2;
       }
+    } else if (arg == "--qdisc") {
+      fiveg::net::QdiscConfig qdisc;
+      const char* spec = need_value();
+      if (!fiveg::net::parse_qdisc_spec(spec, &qdisc)) {
+        std::cerr << "bad --qdisc value: " << spec
+                  << " (want droptail|codel|fq_codel|red, optionally +ecn)\n";
+        return 2;
+      }
+      fiveg::core::set_campaign_bottleneck_qdisc(qdisc);
     } else if (arg == "--metrics") {
       print_metrics = true;
     } else if (arg == "--no-timing") {

@@ -20,6 +20,7 @@ void ensure_registered() {
     register_energy_experiments();
     register_ablation_experiments();
     register_extension_experiments();
+    register_aqm_experiments();
     return true;
   }();
   (void)once;

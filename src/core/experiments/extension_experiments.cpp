@@ -51,7 +51,8 @@ class AqmExperiment final : public Experiment {
         net::CellularPathOptions popt;
         popt.ran.bitrate_bps = paper::kNrUdpDayMbps * 1e6;
         auto hops = make_cellular_path(popt, sim::Rng(ctx.seed));
-        hops[net::kBottleneckHopIndex].use_codel = codel;
+        hops[net::kBottleneckHopIndex].qdisc.kind =
+            codel ? net::QdiscKind::kCoDel : net::QdiscKind::kDropTail;
         std::reverse(hops.begin(), hops.end());  // downlink orientation
         net::PathNetwork path(&simr2, std::move(hops));
         app::PathFanout fanout(&path);

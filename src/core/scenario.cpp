@@ -5,6 +5,21 @@
 #include "core/paper.h"
 
 namespace fiveg::core {
+namespace {
+
+// Written once by the CLI before any experiment thread starts, then only
+// read — no locking needed.
+net::QdiscConfig g_campaign_qdisc;  // default-constructed = drop-tail
+
+}  // namespace
+
+void set_campaign_bottleneck_qdisc(const net::QdiscConfig& qdisc) {
+  g_campaign_qdisc = qdisc;
+}
+
+const net::QdiscConfig& campaign_bottleneck_qdisc() noexcept {
+  return g_campaign_qdisc;
+}
 
 Scenario::Scenario(std::uint64_t seed)
     : campus_(geo::make_campus(sim::Rng(seed).fork("campus"))),
@@ -47,6 +62,8 @@ Testbed::Testbed(sim::Simulator* simulator, const TestbedOptions& options,
   if (options.bottleneck_buffer_bytes != 0) {
     path_opt.bottleneck_buffer_bytes = options.bottleneck_buffer_bytes;
   }
+  path_opt.bottleneck_qdisc =
+      options.bottleneck_qdisc.value_or(campaign_bottleneck_qdisc());
   auto hops = make_cellular_path(path_opt, rng.fork("path"));
 
   std::size_t bottleneck = net::kBottleneckHopIndex;

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "app/iperf.h"
 #include "geo/campus.h"
@@ -49,8 +50,17 @@ struct TestbedOptions {
   double ran_rate_bps = 0.0;
   // 0 = the legacy default (Table 3's 4G-era wireline buffer).
   std::uint64_t bottleneck_buffer_bytes = 0;
+  // Queue discipline at the wireline bottleneck. nullopt = the campaign
+  // default (drop-tail unless overridden via --qdisc).
+  std::optional<net::QdiscConfig> bottleneck_qdisc;
   std::function<bool()> ran_blocked_fn;  // hand-off outages
 };
+
+/// Campaign-wide bottleneck qdisc default, applied by every Testbed whose
+/// options leave bottleneck_qdisc unset. Set once from the CLI (--qdisc)
+/// before the runner spawns worker threads; read-only afterwards.
+void set_campaign_bottleneck_qdisc(const net::QdiscConfig& qdisc);
+[[nodiscard]] const net::QdiscConfig& campaign_bottleneck_qdisc() noexcept;
 
 /// The paper's serving rate for a RAT/regime/direction (UDP baselines).
 [[nodiscard]] double baseline_rate_bps(radio::Rat rat, ran::LoadRegime regime,

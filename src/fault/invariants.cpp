@@ -38,7 +38,18 @@ void InvariantChecker::check_link_conservation(const net::Link& link) {
               std::to_string(link.dropped_packets()) + " + delivered " +
               std::to_string(link.delivered_packets()) + " + queued " +
               std::to_string(link.queue_packets()) + " + in_transit " +
-              std::to_string(link.in_transit_packets()) + ")");
+              std::to_string(link.in_transit_packets()) + ", marked " +
+              std::to_string(link.marked_packets()) + ")");
+  // CE-marked packets are signalled, never lost: each one is still in
+  // exactly one of the surviving buckets.
+  const std::uint64_t surviving = link.delivered_packets() +
+                                  link.queue_packets() +
+                                  link.in_transit_packets();
+  require(link.marked_packets() <= surviving,
+          "link '" + link.config().name + "': marked " +
+              std::to_string(link.marked_packets()) +
+              " exceeds surviving packets " + std::to_string(surviving) +
+              " (delivered + queued + in_transit)");
 }
 
 void InvariantChecker::check_tcp(const tcp::TcpSender& sender,

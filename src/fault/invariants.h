@@ -35,7 +35,8 @@ class InvariantChecker {
  public:
   /// Packet conservation on one link: every packet ever offered to send()
   /// is exactly one of fault-dropped, queue-dropped, delivered, still
-  /// queued, or in transit.
+  /// queued, or in transit; and CE-marked packets (ECN) never exceed the
+  /// surviving (delivered + queued + in-transit) population.
   void check_link_conservation(const net::Link& link);
 
   /// TCP sanity for one flow:

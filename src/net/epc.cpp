@@ -45,6 +45,7 @@ std::vector<Link::Config> make_cellular_path(const CellularPathOptions& options,
                             : options.core_capacity_bps;
     w.queue_bytes = bottleneck ? options.bottleneck_buffer_bytes
                                : options.core_buffer_bytes;
+    if (bottleneck) w.qdisc = options.bottleneck_qdisc;
     // Router processing/forwarding floor plus the distance share.
     w.prop_delay = sim::from_millis(0.6) +
                    static_cast<sim::Time>(per_hop_us * sim::kMicrosecond);

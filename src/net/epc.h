@@ -30,6 +30,10 @@ struct CellularPathOptions {
   /// Non-bottleneck wired hop capacity and buffers.
   double core_capacity_bps = 10e9;
   std::uint64_t core_buffer_bytes = 4 * 1024 * 1024;
+  /// Queue discipline managing the metro-bottleneck buffer (drop-tail by
+  /// default, matching the measured networks; the AQM experiments swap in
+  /// CoDel / FQ-CoDel / RED here).
+  QdiscConfig bottleneck_qdisc;
 };
 
 /// Index of the wireline bottleneck hop in the built path (where cross

@@ -18,14 +18,7 @@ Link::Link(sim::Simulator* simulator, Config config, PacketSink* sink)
     : sim_(simulator),
       config_(std::move(config)),
       sink_(sink),
-      queue_(config_.queue_bytes) {
-  if (config_.use_codel) {
-    CoDelQueue::Config ccfg;
-    ccfg.target = config_.codel_target;
-    ccfg.interval = config_.codel_interval;
-    ccfg.capacity_bytes = config_.queue_bytes;
-    codel_ = std::make_unique<CoDelQueue>(ccfg);
-  }
+      qdisc_(make_qdisc(config_.qdisc, config_.queue_bytes, config_.name)) {
   tracer_ = obs::tracer();
   fault_ = fault::runtime();
   if (fault_ != nullptr) {
@@ -44,20 +37,42 @@ Link::Link(sim::Simulator* simulator, Config config, PacketSink* sink)
           &m->counter("fault.link_drops", {{"link", config_.name}});
     }
     queue_hwm_ = &m->gauge("net.queue.hwm_bytes", {{"link", config_.name}});
-    if (!codel_) {
-      sojourn_ms_ =
-          &m->histogram("net.queue.sojourn_ms", {{"link", config_.name}});
-      sojourn_d_ = &m->digest("net.queue.sojourn_ms", {{"link", config_.name}});
+    sojourn_ms_ =
+        &m->histogram("net.queue.sojourn_ms", {{"link", config_.name}});
+    sojourn_d_ = &m->digest("net.queue.sojourn_ms", {{"link", config_.name}});
+    if (config_.qdisc.kind != QdiscKind::kDropTail) {
+      // AQM runs additionally break drops/marks out per discipline, so a
+      // sweep over qdiscs lands each variant on its own labelled series.
+      const std::string qd(qdisc_->kind_name());
+      qdisc_drops_ctr_ = &m->counter(
+          "net.qdisc.drops", {{"link", config_.name}, {"qdisc", qd}});
+      qdisc_marks_ctr_ = &m->counter(
+          "net.qdisc.marks", {{"link", config_.name}, {"qdisc", qd}});
     }
   }
 }
 
-void Link::record_drop(std::uint64_t n) {
-  if (n == 0) return;
-  if (drops_ctr_ != nullptr) drops_ctr_->add(n);
-  if (tracer_ != nullptr) {
-    tracer_->instant(sim_->now(), "net.queue_drop", "net",
-                     {{"link", config_.name}, {"count", std::to_string(n)}});
+void Link::sync_qdisc_stats() {
+  const std::uint64_t drops = qdisc_->drops();
+  if (drops != drops_synced_) {
+    const std::uint64_t n = drops - drops_synced_;
+    drops_synced_ = drops;
+    if (drops_ctr_ != nullptr) drops_ctr_->add(n);
+    if (qdisc_drops_ctr_ != nullptr) qdisc_drops_ctr_->add(n);
+    if (tracer_ != nullptr) {
+      tracer_->instant(sim_->now(), "net.queue_drop", "net",
+                       {{"link", config_.name}, {"count", std::to_string(n)}});
+    }
+  }
+  const std::uint64_t marks = qdisc_->marks();
+  if (marks != marks_synced_) {
+    const std::uint64_t n = marks - marks_synced_;
+    marks_synced_ = marks;
+    if (qdisc_marks_ctr_ != nullptr) qdisc_marks_ctr_->add(n);
+    if (tracer_ != nullptr) {
+      tracer_->instant(sim_->now(), "net.queue_mark", "net",
+                       {{"link", config_.name}, {"count", std::to_string(n)}});
+    }
   }
 }
 
@@ -75,22 +90,17 @@ void Link::send(Packet p) {
       return;
     }
   }
-  const bool accepted = codel_ ? codel_->push(std::move(p), sim_->now())
-                               : queue_.push(std::move(p));
-  if (!accepted) {  // dropped on entry
-    record_drop(1);
-    return;
-  }
+  const bool accepted = qdisc_->push(std::move(p), sim_->now());
+  sync_qdisc_stats();
+  if (!accepted) return;  // dropped on entry
   if (queue_hwm_ != nullptr) {
     queue_hwm_->update_max(static_cast<double>(queue_bytes()));
   }
-  if (sojourn_ms_ != nullptr && !codel_) enqueue_at_.push_back(sim_->now());
   if (!transmitting_) try_transmit();
 }
 
 void Link::try_transmit() {
-  const bool empty = codel_ ? codel_->empty() : queue_.empty();
-  if (empty) {
+  if (qdisc_->empty()) {
     transmitting_ = false;
     return;
   }
@@ -107,25 +117,18 @@ void Link::try_transmit() {
                       [this] { try_transmit(); });
     return;
   }
-  Packet p;
-  if (codel_) {
-    // CoDel may shed its whole backlog while dequeuing.
-    const std::uint64_t drops_before = codel_->drops();
-    auto popped = codel_->pop(sim_->now());
-    record_drop(codel_->drops() - drops_before);
-    if (!popped) {
-      transmitting_ = false;
-      return;
-    }
-    p = std::move(*popped);
-  } else {
-    p = queue_.pop();
-    if (sojourn_ms_ != nullptr && !enqueue_at_.empty()) {
-      const double sojourn = sim::to_millis(sim_->now() - enqueue_at_.front());
-      sojourn_ms_->observe(sojourn);
-      if (sojourn_d_ != nullptr) sojourn_d_->observe(sojourn);
-      enqueue_at_.pop_front();
-    }
+  // An AQM may shed (or CE-mark) part of its backlog while dequeuing.
+  std::optional<Packet> popped = qdisc_->pop(sim_->now());
+  sync_qdisc_stats();
+  if (!popped) {
+    transmitting_ = false;
+    return;
+  }
+  Packet p = std::move(*popped);
+  if (sojourn_ms_ != nullptr) {
+    const double sojourn = sim::to_millis(qdisc_->last_sojourn());
+    sojourn_ms_->observe(sojourn);
+    if (sojourn_d_ != nullptr) sojourn_d_->observe(sojourn);
   }
   ++in_transit_packets_;
   const double bits = 8.0 * static_cast<double>(p.size_bytes);

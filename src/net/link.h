@@ -1,11 +1,11 @@
 // A simplex link: serialisation at a (possibly time-varying) rate, a
-// drop-tail queue, propagation delay, optional per-packet extra delay
-// (HARQ retransmissions) and an optional outage predicate (hand-off
-// interruptions). Two Links back-to-back make a duplex hop.
+// pluggable queue discipline (drop-tail by default; CoDel / FQ-CoDel /
+// RED for the AQM experiments), propagation delay, optional per-packet
+// extra delay (HARQ retransmissions) and an optional outage predicate
+// (hand-off interruptions). Two Links back-to-back make a duplex hop.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -13,7 +13,6 @@
 #include "fault/fault.h"
 #include "net/aqm.h"
 #include "net/packet.h"
-#include "net/queue.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -26,11 +25,10 @@ class Link {
     double rate_bps = 1e9;                    // fixed rate when rate_fn empty
     std::function<double()> rate_fn;          // dynamic rate (RAN links)
     sim::Time prop_delay = sim::from_millis(0.1);
-    std::uint64_t queue_bytes = 512 * 1024;   // drop-tail capacity
-    // Replace the drop-tail queue with CoDel (the bufferbloat ablation).
-    bool use_codel = false;
-    sim::Time codel_target = 5 * sim::kMillisecond;
-    sim::Time codel_interval = 100 * sim::kMillisecond;
+    std::uint64_t queue_bytes = 512 * 1024;   // buffer capacity
+    // Which discipline manages the buffer (default: drop-tail, the
+    // measured status quo — every golden baseline assumes it).
+    QdiscConfig qdisc;
     // Per-packet extra delivery delay (HARQ retransmissions); sees the
     // packet so the model can scale block error rate with size.
     std::function<sim::Time(const Packet&)> extra_delay_fn;
@@ -43,7 +41,7 @@ class Link {
 
   void set_sink(PacketSink* sink) noexcept { sink_ = sink; }
 
-  /// Offers a packet: queued for transmission or tail-dropped.
+  /// Offers a packet: queued for transmission or dropped by the qdisc.
   void send(Packet p);
 
   /// Instantaneous transmit rate in bits/s.
@@ -57,20 +55,22 @@ class Link {
     return delivered_bytes_;
   }
   [[nodiscard]] std::uint64_t dropped_packets() const noexcept {
-    return codel_ ? codel_->drops() : queue_.drops();
+    return qdisc_->drops();
   }
   [[nodiscard]] std::uint64_t max_queue_bytes() const noexcept {
-    return codel_ ? codel_->max_depth_bytes() : queue_.max_depth_bytes();
+    return qdisc_->max_depth_bytes();
   }
   [[nodiscard]] std::uint64_t queue_bytes() const noexcept {
-    return codel_ ? codel_->size_bytes() : queue_.size_bytes();
+    return qdisc_->size_bytes();
   }
   [[nodiscard]] std::uint64_t queue_packets() const noexcept {
-    return codel_ ? codel_->size_packets() : queue_.size_packets();
+    return qdisc_->size_packets();
   }
   // Packet-conservation ledger (see fault::InvariantChecker): every packet
   // offered to send() is exactly one of fault-dropped, queue-dropped,
   // delivered, still queued, or in flight between pop and delivery.
+  // CE-marked packets are a sub-population of the delivered/queued/
+  // in-transit buckets — marked means signalled, never lost.
   [[nodiscard]] std::uint64_t offered_packets() const noexcept {
     return offered_packets_;
   }
@@ -80,30 +80,41 @@ class Link {
   [[nodiscard]] std::uint64_t in_transit_packets() const noexcept {
     return in_transit_packets_;
   }
+  [[nodiscard]] std::uint64_t marked_packets() const noexcept {
+    return qdisc_->marks();
+  }
   [[nodiscard]] const Config& config() const noexcept { return config_; }
+  [[nodiscard]] const QueueDiscipline& qdisc() const noexcept {
+    return *qdisc_;
+  }
 
  private:
   void try_transmit();
   void finish_transmit(Packet p);
-  void record_drop(std::uint64_t n);
+  /// Folds any drop/mark counter movement since the last call into the
+  /// metrics and the trace (one event per batch, like the old per-push
+  /// accounting).
+  void sync_qdisc_stats();
 
   sim::Simulator* sim_;
   Config config_;
   PacketSink* sink_;
-  DropTailQueue queue_;               // used unless config_.use_codel
-  std::unique_ptr<CoDelQueue> codel_;  // CoDel variant (AQM ablation)
+  std::unique_ptr<QueueDiscipline> qdisc_;
   bool transmitting_ = false;
 
   // Observability handles, resolved once at construction (null without a
-  // scope). Sojourn is only tracked for the drop-tail queue, whose strict
-  // FIFO order lets `enqueue_at_` mirror it exactly; CoDel sheds from the
-  // middle of its backlog and keeps its own sojourn estimate.
+  // scope). Every discipline reports the sojourn of each delivered packet
+  // through the shared net.queue.sojourn_ms family; AQMs additionally get
+  // qdisc-labelled drop/mark counters.
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* drops_ctr_ = nullptr;
+  obs::Counter* qdisc_drops_ctr_ = nullptr;  // AQM only (qdisc-labelled)
+  obs::Counter* qdisc_marks_ctr_ = nullptr;  // AQM only (qdisc-labelled)
   obs::Histogram* sojourn_ms_ = nullptr;
   obs::Digest* sojourn_d_ = nullptr;
   obs::Gauge* queue_hwm_ = nullptr;
-  std::deque<sim::Time> enqueue_at_;
+  std::uint64_t drops_synced_ = 0;  // qdisc drops already counted
+  std::uint64_t marks_synced_ = 0;  // qdisc marks already counted
   // Deliveries never reorder (RLC-style in-order delivery): a packet held
   // up by HARQ also holds back its successors.
   sim::Time last_delivery_at_ = 0;

@@ -25,6 +25,12 @@ struct Packet {
   sim::Time echo_ts = 0;         // sender timestamp echoed by the receiver
   int ttl = 64;                  // decremented per hop; 0 bounces (traceroute)
   bool is_probe = false;         // traceroute probe flag
+  // Explicit congestion notification (RFC 3168). An ECN-capable sender
+  // stamps data packets ECT; an ECN-enabled qdisc sets CE instead of
+  // dropping; the receiver echoes ECE on the ACK stream.
+  bool ect = false;              // ECN-capable transport (data packets)
+  bool ce = false;               // congestion experienced (set by a qdisc)
+  bool ece = false;              // ECN echo (ACKs)
 };
 
 /// Anything that can absorb packets.

@@ -117,6 +117,7 @@ class BbrCc : public CongestionControl {
 
   void on_ack(const AckEvent& e) override;
   void on_loss(sim::Time now, std::uint64_t bytes_in_flight) override;
+  void on_ecn(sim::Time now, std::uint64_t bytes_in_flight) override;
   void on_timeout(sim::Time now) override;
   [[nodiscard]] double cwnd_bytes() const override;
   [[nodiscard]] double pacing_rate_bps() const override;
@@ -163,6 +164,12 @@ class BbrCc : public CongestionControl {
   sim::Time cycle_stamp_ = 0;
   sim::Time probe_rtt_done_ = 0;
   Mode mode_before_probe_rtt_ = Mode::kProbeBw;
+
+  // ECN response: a temporary cap on the model-derived window (BBR's loss
+  // response is a no-op, so CE marks need their own lever). 0 = inactive;
+  // expires after one RTprop, checked on the next ACK.
+  double ecn_cap_bytes_ = 0.0;
+  sim::Time ecn_cap_until_ = 0;
 };
 
 }  // namespace fiveg::tcp

@@ -39,8 +39,11 @@ double BbrCc::bdp_bytes(double gain) const {
 }
 
 double BbrCc::cwnd_bytes() const {
-  if (mode_ == Mode::kProbeRtt) return kMinCwndMss * mss_;
-  return std::max(bdp_bytes(cwnd_gain_), kMinCwndMss * mss_);
+  double w = mode_ == Mode::kProbeRtt
+                 ? kMinCwndMss * mss_
+                 : std::max(bdp_bytes(cwnd_gain_), kMinCwndMss * mss_);
+  if (ecn_cap_bytes_ > 0.0) w = std::min(w, ecn_cap_bytes_);
+  return w;
 }
 
 double BbrCc::pacing_rate_bps() const {
@@ -133,6 +136,7 @@ void BbrCc::advance_machine(const AckEvent& e) {
 }
 
 void BbrCc::on_ack(const AckEvent& e) {
+  if (ecn_cap_bytes_ > 0.0 && e.now >= ecn_cap_until_) ecn_cap_bytes_ = 0.0;
   if (e.rtt > 0 && (rt_prop_ == 0 || e.rtt <= rt_prop_ ||
                     e.now - rt_prop_stamp_ > kRtPropWindow)) {
     rt_prop_ = e.rtt;
@@ -145,6 +149,15 @@ void BbrCc::on_ack(const AckEvent& e) {
 
 void BbrCc::on_loss(sim::Time /*now*/, std::uint64_t /*bytes_in_flight*/) {
   // BBR v1 deliberately ignores individual losses.
+}
+
+void BbrCc::on_ecn(sim::Time now, std::uint64_t /*bytes_in_flight*/) {
+  // A CE mark is an unambiguous congestion signal even for a model-based
+  // sender, so it gets a real response where on_loss() has none: cap the
+  // window at half for one RTprop, then let the model take back over.
+  ecn_cap_bytes_ = std::max(cwnd_bytes() * 0.5, kMinCwndMss * mss_);
+  ecn_cap_until_ =
+      now + std::max<sim::Time>(rt_prop_, 10 * sim::kMillisecond);
 }
 
 void BbrCc::on_timeout(sim::Time /*now*/) {

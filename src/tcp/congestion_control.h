@@ -40,6 +40,14 @@ class CongestionControl {
   /// Called once per loss-recovery episode (triple-dupack fast retransmit).
   virtual void on_loss(sim::Time now, std::uint64_t bytes_in_flight) = 0;
 
+  /// Called at most once per RTT when the peer echoes an ECN congestion
+  /// mark (ECE). RFC 3168 says to react as to a single lost packet, so the
+  /// default delegates to on_loss(); algorithms whose loss response is a
+  /// no-op (BBR) override with an explicit window reduction.
+  virtual void on_ecn(sim::Time now, std::uint64_t bytes_in_flight) {
+    on_loss(now, bytes_in_flight);
+  }
+
   /// Called on retransmission timeout.
   virtual void on_timeout(sim::Time now) = 0;
 

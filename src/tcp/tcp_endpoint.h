@@ -19,6 +19,10 @@ struct TcpConfig {
   sim::Time min_rto = 200 * sim::kMillisecond;
   sim::Time initial_rto = sim::kSecond;
   int dupack_threshold = 3;
+  // ECN (RFC 3168): when both endpoints enable it, the sender stamps data
+  // packets ECT, the receiver echoes CE marks as ECE, and the sender backs
+  // off once per RTT without any packet having been lost.
+  bool ecn = false;
   // Deterministic-start hint (BBR only): skip slow start entirely.
   CcSeed seed;
 };

@@ -50,6 +50,11 @@ void TcpReceiver::deliver(net::Packet p) {
   ack.size_bytes = 40;
   ack.sent_at = sim_->now();
   ack.echo_ts = p.sent_at;  // timestamp echo for the sender's RTT sample
+  // ECN echo: a CE-marked arrival is reported back on its own ACK
+  // (DCTCP-style per-packet echo; the sender applies the once-per-RTT
+  // gate). Only an ECN-negotiated receiver echoes.
+  ack.ece = config_.ecn && p.ce;
+  if (ack.ece) ++ce_marks_seen_;
   emit_ack_(std::move(ack));
 }
 

@@ -43,6 +43,12 @@ class TcpReceiver final : public net::PacketSink {
   /// Mean goodput between two instants, bits/s.
   [[nodiscard]] double mean_goodput_bps(sim::Time from, sim::Time to) const;
 
+  /// CE-marked arrivals this receiver echoed back as ECE (0 unless both
+  /// the path marked and this endpoint negotiated ECN).
+  [[nodiscard]] std::uint64_t ce_marks_seen() const noexcept {
+    return ce_marks_seen_;
+  }
+
  private:
   sim::Simulator* sim_;
   TcpConfig config_;
@@ -53,6 +59,7 @@ class TcpReceiver final : public net::PacketSink {
   std::uint64_t highest_held_ = 0;  // top of the receive scoreboard
   std::uint64_t total_accepted_ = 0;  // distinct payload bytes ever stored
   std::map<std::uint64_t, std::uint64_t> out_of_order_;  // start -> payload
+  std::uint64_t ce_marks_seen_ = 0;  // CE arrivals echoed as ECE
   measure::TimeSeries goodput_log_;
 };
 

@@ -31,6 +31,11 @@ TcpSender::TcpSender(sim::Simulator* simulator, TcpConfig config,
     const std::string algo = to_string(config.algo);
     rtt_d_ = &m->digest("tcp.rtt_ms", {{"algo", algo}});
     rate_d_ = &m->digest("tcp.delivery_rate_mbps", {{"algo", algo}});
+    if (config_.ecn) {
+      // Only ECN-negotiated flows grow the metric set: non-ECN runs (all
+      // golden baselines) keep an identical metric universe.
+      ecn_ctr_ = &m->counter("tcp.ecn_responses", {{"algo", algo}});
+    }
   }
   if (tracer_ != nullptr) {
     cwnd_track_ = "tcp.cwnd.flow" + std::to_string(flow_id_);
@@ -133,6 +138,7 @@ void TcpSender::send_segment(std::uint64_t seq, bool retransmit) {
   p.seq = seq;
   p.size_bytes = payload + config_.header_bytes;
   p.sent_at = sim_->now();
+  p.ect = config_.ecn;  // ECN-capable transport: qdiscs may mark, not drop
   emit_(std::move(p));
 
   if (retransmit) {
@@ -182,6 +188,21 @@ void TcpSender::on_ack(const net::Packet& ack) {
   if (ack.rcv_total > delivered_) {
     delivered_ = ack.rcv_total;
     delivered_time_ = sim_->now();
+  }
+  if (config_.ecn && ack.ece && snd_una_ >= ecn_cwr_point_) {
+    // The receiver echoed a CE mark. Back off once, then ignore further
+    // echoes until a full window of new data has been acked (the CWR
+    // point) — the once-per-RTT discipline of RFC 3168 §6.1.2.
+    ecn_cwr_point_ = snd_nxt_;
+    ++ecn_responses_;
+    if (ecn_ctr_ != nullptr) ecn_ctr_->add();
+    if (tracer_ != nullptr) {
+      tracer_->instant(sim_->now(), "tcp.ecn_backoff", "tcp",
+                       {{"flow", std::to_string(flow_id_)},
+                        {"snd_una", std::to_string(snd_una_)}});
+    }
+    cc_->on_ecn(sim_->now(), bytes_in_flight());
+    log_cwnd();
   }
   if (ack_seq > snd_una_) {
     const std::uint64_t newly = ack_seq - snd_una_;

@@ -53,6 +53,11 @@ class TcpSender final : public net::PacketSink {
   [[nodiscard]] std::uint64_t fast_recoveries() const noexcept {
     return fast_recoveries_;
   }
+  /// How many times the flow backed off to an ECN echo (at most once per
+  /// RTT, regardless of how many ACKs carried ECE).
+  [[nodiscard]] std::uint64_t ecn_responses() const noexcept {
+    return ecn_responses_;
+  }
   /// High-water mark of bytes ever sent (fault::InvariantChecker compares
   /// it against the receiver's accounting: no delivery without a send).
   [[nodiscard]] std::uint64_t max_sent_seq() const noexcept {
@@ -134,6 +139,12 @@ class TcpSender final : public net::PacketSink {
   std::uint64_t fast_recoveries_ = 0;
   measure::TimeSeries cwnd_log_;
 
+  // ECN response gate (RFC 3168 §6.1.2 shape): after reacting to an ECE,
+  // further echoes are ignored until this sequence point is acked — i.e.
+  // at most one window reduction per RTT.
+  std::uint64_t ecn_cwr_point_ = 0;
+  std::uint64_t ecn_responses_ = 0;
+
   // Server-stall fault injection (null unless a plan with a server_stall
   // window is installed at construction). While stalled, no *new* data is
   // clocked out — retransmissions and ACK processing continue, like a
@@ -147,6 +158,7 @@ class TcpSender final : public net::PacketSink {
   obs::Counter* retx_ctr_ = nullptr;
   obs::Counter* loss_ctr_ = nullptr;
   obs::Counter* timeout_ctr_ = nullptr;
+  obs::Counter* ecn_ctr_ = nullptr;  // only created for ECN-enabled flows
   obs::Digest* rtt_d_ = nullptr;
   obs::Digest* rate_d_ = nullptr;
   std::string cwnd_track_;       // per-flow counter-track name

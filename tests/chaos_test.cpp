@@ -18,6 +18,7 @@
 #include "fault/invariants.h"
 #include "geo/campus.h"
 #include "geo/route.h"
+#include "net/aqm.h"
 #include "net/link.h"
 #include "net/packet.h"
 #include "net/path.h"
@@ -80,6 +81,89 @@ TEST(LinkChaosTest, BurstLossConservesEveryPacket) {
   EXPECT_EQ(sink.packets(), link.delivered_packets());
   fault::InvariantChecker checker;
   checker.check_link_conservation(link);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(LinkChaosTest, AqmUnderBurstLossKeepsExtendedLedger) {
+  // CoDel+ECN under a lossy burst: fault drops, AQM marks and deliveries
+  // all land in one ledger, and the extended conservation invariant
+  // (including the marked <= surviving bound) must hold throughout.
+  fault::FaultPlan plan;
+  plan.add(link_loss(kSecond, 3 * kSecond, 0.30));
+  fault::Runtime rt(&plan, sim::Rng(42).fork("fault").seed());
+  const fault::ScopedFaults scope(&rt);
+
+  sim::Simulator simr;
+  net::Link::Config cfg;
+  cfg.rate_bps = 12e6;
+  cfg.queue_bytes = 16 << 20;  // deep buffer: sheds come from CoDel, not tail
+  cfg.qdisc.kind = net::QdiscKind::kCoDel;
+  cfg.qdisc.ecn = true;
+  cfg.name = "aqm-chaos";
+  net::CountingSink sink;
+  net::Link link(&simr, cfg, &sink);
+  // 2x overload of ECT traffic for 5 s, straddling the loss window.
+  const int kOffered = 10000;
+  for (int i = 0; i < kOffered; ++i) {
+    simr.schedule_at(i * (from_millis(1) / 2), [&link, i] {
+      net::Packet p = make_packet(i);
+      p.ect = true;
+      link.send(std::move(p));
+    });
+  }
+  simr.run();
+
+  EXPECT_GT(link.fault_dropped_packets(), 0u);  // the burst fired
+  EXPECT_GT(link.marked_packets(), 0u);         // the AQM kept policing
+  EXPECT_EQ(link.dropped_packets(), 0u);        // ...by marking, not dropping
+  EXPECT_EQ(link.offered_packets(), static_cast<std::uint64_t>(kOffered));
+  fault::InvariantChecker checker;
+  checker.check_link_conservation(link);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(TcpChaosAqmTest, CodelBottleneckSurvivesBurstLoss) {
+  // A full transport loop over a CoDel bottleneck while the link bleeds:
+  // the AQM and the fault layer drop from the same queue and the flow must
+  // recover once the window closes.
+  fault::FaultPlan plan;
+  plan.add(link_loss(2 * kSecond, 4 * kSecond, 0.35));
+  fault::Runtime rt(&plan, sim::Rng(21).fork("fault").seed());
+  const fault::ScopedFaults scope(&rt);
+
+  sim::Simulator simr;
+  std::vector<net::Link::Config> hops(2);
+  hops[0].rate_bps = 50e6;
+  hops[0].prop_delay = from_millis(10);
+  hops[0].queue_bytes = 400 * 1500;
+  hops[0].qdisc.kind = net::QdiscKind::kCoDel;
+  hops[0].name = "aqm-bottleneck";
+  hops[1].rate_bps = 1e9;
+  hops[1].prop_delay = from_millis(5);
+  hops[1].queue_bytes = 8 << 20;
+  hops[1].name = "wired";
+
+  tcp::TcpConfig cfg;
+  cfg.algo = tcp::CcAlgo::kCubic;
+  net::PathNetwork path(&simr, std::move(hops));
+  auto sender = std::make_unique<tcp::TcpSender>(
+      &simr, cfg, 1, [&path](net::Packet p) { path.send_a_to_b(std::move(p)); });
+  auto receiver = std::make_unique<tcp::TcpReceiver>(
+      &simr, cfg, 1, [&path](net::Packet p) { path.send_b_to_a(std::move(p)); });
+  path.attach_b(receiver.get());
+  path.attach_a(sender.get());
+  sender->start_bulk();
+  simr.run_until(12 * kSecond);
+
+  EXPECT_GT(path.forward_link(0).fault_dropped_packets(), 0u);
+  EXPECT_GT(sender->retransmissions(), 0u);
+  EXPECT_GT(receiver->mean_goodput_bps(8 * kSecond, 12 * kSecond), 5e6);
+  fault::InvariantChecker checker;
+  checker.check_tcp(*sender, *receiver);
+  for (std::size_t i = 0; i < path.hop_count(); ++i) {
+    checker.check_link_conservation(path.forward_link(i));
+    checker.check_link_conservation(path.reverse_link(i));
+  }
   EXPECT_TRUE(checker.ok()) << checker.report();
 }
 

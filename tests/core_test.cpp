@@ -20,6 +20,8 @@ TEST(RegistryTest, AllExperimentsRegistered) {
   const std::vector<std::string> expected = {
       "ablation_buffer_sizing", "ablation_cc_robustness",
       "ablation_sa_handoff",    "ablation_tail_timer",
+      "aqm_bufferbloat",        "aqm_incast",
+      "aqm_rtt_fairness",       "aqm_table3_mitigation",
       "dsl_replacement",        "ext_abr_video",
       "ext_cell_load",          "ext_codel_aqm",
       "ext_densification",      "ext_faststart_web",

@@ -96,7 +96,8 @@ TEST(CoDelLinkTest, BoundsQueueingDelayUnderOverload) {
     net::Link::Config cfg;
     cfg.rate_bps = 50e6;
     cfg.queue_bytes = 2 << 20;
-    cfg.use_codel = use_codel;
+    cfg.qdisc.kind =
+        use_codel ? net::QdiscKind::kCoDel : net::QdiscKind::kDropTail;
     net::CountingSink sink;
     net::Link link(&simr, cfg, &sink);
     const sim::Time gap = from_millis(1500.0 * 8 / 55e6 * 1000);  // 55 Mbps

@@ -1,0 +1,62 @@
+# Audits the ctest inventory: every registered test must carry exactly one
+# tier label (tier1 or chaos), so `ctest -L tier1` and `ctest -L chaos`
+# partition the suite with nothing silently unlabelled and nothing gated
+# twice. Runs as a ctest test itself:
+#   cmake -DCTEST=<ctest> -DBUILD_DIR=<build> -P label_audit.cmake
+cmake_minimum_required(VERSION 3.25)
+
+if(NOT DEFINED CTEST OR NOT DEFINED BUILD_DIR)
+  message(FATAL_ERROR
+    "usage: cmake -DCTEST=<ctest> -DBUILD_DIR=<build> -P label_audit.cmake")
+endif()
+
+execute_process(
+  COMMAND ${CTEST} --show-only=json-v1 --test-dir ${BUILD_DIR}
+  OUTPUT_VARIABLE doc
+  ERROR_VARIABLE err
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "ctest --show-only=json-v1 failed (${rc}): ${err}")
+endif()
+
+string(JSON ntests LENGTH "${doc}" tests)
+if(ntests LESS 2)
+  message(FATAL_ERROR "label audit found only ${ntests} test(s) — wrong "
+    "BUILD_DIR?")
+endif()
+
+set(bad "")
+math(EXPR last "${ntests} - 1")
+foreach(i RANGE ${last})
+  string(JSON tname GET "${doc}" tests ${i} name)
+  set(tier_labels "")
+  string(JSON nprops ERROR_VARIABLE perr LENGTH "${doc}" tests ${i} properties)
+  if(NOT perr AND nprops GREATER 0)
+    math(EXPR plast "${nprops} - 1")
+    foreach(p RANGE ${plast})
+      string(JSON pname GET "${doc}" tests ${i} properties ${p} name)
+      if(pname STREQUAL "LABELS")
+        string(JSON nlabels LENGTH "${doc}" tests ${i} properties ${p} value)
+        math(EXPR llast "${nlabels} - 1")
+        foreach(l RANGE ${llast})
+          string(JSON label GET "${doc}" tests ${i} properties ${p} value ${l})
+          if(label STREQUAL "tier1" OR label STREQUAL "chaos")
+            list(APPEND tier_labels "${label}")
+          endif()
+        endforeach()
+      endif()
+    endforeach()
+  endif()
+  list(LENGTH tier_labels count)
+  if(NOT count EQUAL 1)
+    list(APPEND bad "${tname}: [${tier_labels}]")
+  endif()
+endforeach()
+
+if(bad)
+  list(JOIN bad "\n  " bad_lines)
+  message(FATAL_ERROR "every test needs exactly one tier label "
+    "(tier1 | chaos); offenders:\n  ${bad_lines}")
+endif()
+message(STATUS "label audit: ${ntests} tests, all carry exactly one tier "
+  "label")

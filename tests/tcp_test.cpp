@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "net/aqm.h"
 #include "net/link.h"
 #include "net/path.h"
 #include "sim/simulator.h"
@@ -359,6 +360,109 @@ TEST(TcpE2eTest, RtoFiresWhenPathGoesDark) {
   EXPECT_GT(s.sender->timeouts(), timeouts_before);
   // Traffic resumes after the outage.
   EXPECT_GT(s.receiver->mean_goodput_bps(6 * kSecond, 8 * kSecond), 5e6);
+}
+
+// --- ECN (RFC 3168): controller response and end-to-end negotiation ---
+
+TEST(EcnTest, OnEcnShrinksEveryController) {
+  for (const CcAlgo a : {CcAlgo::kReno, CcAlgo::kCubic, CcAlgo::kVegas,
+                         CcAlgo::kVeno, CcAlgo::kBbr}) {
+    const auto cc = make_congestion_control(a, kMss);
+    sim::Time t = 0;
+    std::uint64_t delivered = 0;
+    for (int i = 0; i < 200; ++i) {
+      t += from_millis(10);
+      delivered += kMss;
+      cc->on_ack(make_ack(t, from_millis(20), kMss, delivered, 200e6,
+                          20 * kMss));
+    }
+    const double before = cc->cwnd_bytes();
+    cc->on_ecn(t, 10 * kMss);
+    EXPECT_LT(cc->cwnd_bytes(), before) << to_string(a);
+    // ECN is a congestion signal, not a disaster: nothing collapses to
+    // the one-MSS timeout window.
+    EXPECT_GE(cc->cwnd_bytes(), kMss) << to_string(a);
+  }
+}
+
+TEST(EcnTest, BbrCapExpiresAfterRtprop) {
+  BbrCc cc(kMss);
+  sim::Time t = 0;
+  std::uint64_t delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += from_millis(10);
+    delivered += kMss;
+    cc.on_ack(make_ack(t, from_millis(20), kMss, delivered, 300e6,
+                       20 * kMss));
+  }
+  const double before = cc.cwnd_bytes();
+  cc.on_ecn(t, 10 * kMss);
+  EXPECT_NEAR(cc.cwnd_bytes(), before / 2, kMss);
+  // The cap lifts once rt_prop has elapsed: the model window returns.
+  t += kSecond;
+  delivered += kMss;
+  cc.on_ack(make_ack(t, from_millis(20), kMss, delivered, 300e6, 20 * kMss));
+  EXPECT_GT(cc.cwnd_bytes(), 0.9 * before);
+}
+
+struct EcnSession {
+  EcnSession(sim::Simulator* simr, std::vector<net::Link::Config> hops,
+             CcAlgo algo, bool ecn)
+      : path(simr, std::move(hops)) {
+    TcpConfig cfg;
+    cfg.algo = algo;
+    cfg.ecn = ecn;
+    sender = std::make_unique<TcpSender>(simr, cfg, 1, [this](net::Packet p) {
+      path.send_a_to_b(std::move(p));
+    });
+    receiver = std::make_unique<TcpReceiver>(
+        simr, cfg, 1, [this](net::Packet p) { path.send_b_to_a(std::move(p)); });
+    path.attach_b(receiver.get());
+    path.attach_a(sender.get());
+  }
+
+  net::PathNetwork path;
+  std::unique_ptr<TcpSender> sender;
+  std::unique_ptr<TcpReceiver> receiver;
+};
+
+std::vector<net::Link::Config> codel_ecn_path() {
+  // 50 Mbps bottleneck under CoDel+ECN with a deep physical buffer: any
+  // standing queue becomes CE marks, never tail drops.
+  auto hops = clean_path(50e6, from_millis(20), 4 << 20);
+  hops[0].qdisc.kind = net::QdiscKind::kCoDel;
+  hops[0].qdisc.ecn = true;
+  return hops;
+}
+
+TEST(EcnTest, FullLoopCeToEceToBackoff) {
+  sim::Simulator simr;
+  EcnSession s(&simr, codel_ecn_path(), CcAlgo::kCubic, /*ecn=*/true);
+  s.sender->start_bulk();
+  simr.run_until(10 * kSecond);
+  // The bottleneck marked, the receiver echoed, the sender backed off.
+  EXPECT_GT(s.path.forward_link(0).marked_packets(), 0u);
+  EXPECT_GT(s.receiver->ce_marks_seen(), 0u);
+  EXPECT_GE(s.sender->ecn_responses(), 1u);
+  // Once-per-RTT gate: far fewer backoffs than echoed marks.
+  EXPECT_LT(s.sender->ecn_responses(), s.receiver->ce_marks_seen());
+  // Marking replaced dropping: the deep buffer never overflowed, so the
+  // flow ran loss-free while still yielding to congestion.
+  EXPECT_EQ(s.sender->retransmissions(), 0u);
+  EXPECT_GT(s.receiver->mean_goodput_bps(3 * kSecond, 10 * kSecond), 30e6);
+}
+
+TEST(EcnTest, NonEcnFlowIsDroppedNotMarked) {
+  sim::Simulator simr;
+  // Same CoDel+ECN bottleneck, but the flow never negotiates ECN: its
+  // packets are not ECT, so the AQM falls back to dropping.
+  EcnSession s(&simr, codel_ecn_path(), CcAlgo::kCubic, /*ecn=*/false);
+  s.sender->start_bulk();
+  simr.run_until(10 * kSecond);
+  EXPECT_EQ(s.path.forward_link(0).marked_packets(), 0u);
+  EXPECT_EQ(s.receiver->ce_marks_seen(), 0u);
+  EXPECT_EQ(s.sender->ecn_responses(), 0u);
+  EXPECT_GT(s.sender->retransmissions(), 0u);  // CoDel drops instead
 }
 
 TEST(TcpE2eTest, BbrBeatsCubicUnderRandomLoss) {

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Non-gating perf-smoke check: compare a fresh bench_hotpath run against
+the committed baseline medians in BENCH_hotpath.json.
+
+usage: check_bench_regression.py FRESH_JSON BASELINE_JSON [--threshold PCT]
+
+FRESH_JSON is the single-line document bench_hotpath prints
+(geometry_qps_median, sinr_sweep_qps_median, event_churn_eps_median plus
+the two checksums). BASELINE_JSON is the committed BENCH_hotpath.json,
+whose "after" block holds the accepted medians for the current tree.
+
+Shared CI runners are too noisy to gate on, so this script always exits 0.
+It emits a GitHub `::warning::` annotation for every metric that regresses
+more than the threshold (default 15%), and a plain error line if a
+checksum diverges (that one signals a correctness change, not noise).
+"""
+import json
+import sys
+
+
+METRICS = [
+    # (fresh-run key, baseline "after" key)
+    ("geometry_qps_median", "geometry_qps"),
+    ("sinr_sweep_qps_median", "sinr_sweep_qps"),
+    ("event_churn_eps_median", "event_churn_eps"),
+]
+CHECKSUMS = ["geometry_checksum", "sinr_checksum"]
+
+
+def main(argv):
+    if len(argv) < 3:
+        print("usage: check_bench_regression.py FRESH_JSON BASELINE_JSON"
+              " [--threshold PCT]")
+        return 0
+    threshold = 15.0
+    if "--threshold" in argv:
+        threshold = float(argv[argv.index("--threshold") + 1])
+
+    try:
+        with open(argv[1]) as f:
+            fresh = json.load(f)
+        with open(argv[2]) as f:
+            after = json.load(f)["after"]
+    except (OSError, ValueError, KeyError) as e:
+        print(f"::warning::perf-smoke comparison skipped: {e}")
+        return 0
+
+    regressed = 0
+    for fresh_key, base_key in METRICS:
+        base = after.get(base_key, {}).get("median_of_runs")
+        now = fresh.get(fresh_key)
+        if not base or now is None:
+            print(f"::warning::perf-smoke: missing metric {base_key}")
+            continue
+        delta_pct = 100.0 * (now - base) / base
+        line = (f"{base_key}: {now:,} vs baseline {base:,} "
+                f"({delta_pct:+.1f}%)")
+        if delta_pct < -threshold:
+            print(f"::warning::perf-smoke regression >{threshold:.0f}%: "
+                  f"{line}")
+            regressed += 1
+        else:
+            print(line)
+
+    for key in CHECKSUMS:
+        base, now = after.get(key), fresh.get(key)
+        if base is not None and now is not None and base != now:
+            print(f"::warning::perf-smoke checksum drift in {key}: "
+                  f"{now} vs {base} — output changed, not just speed")
+
+    print(f"perf-smoke: {regressed} metric(s) past the {threshold:.0f}% "
+          "threshold (informational only; see BENCH_hotpath.json)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

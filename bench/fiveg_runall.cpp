@@ -9,9 +9,12 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
+#include "core/ledger.h"
 #include "core/runner.h"
 #include "core/scenario.h"
 #include "fault/fault.h"
@@ -47,6 +50,16 @@ options:
                 droptail (default), codel, fq_codel or red, with an
                 optional +ecn suffix (e.g. codel+ecn). Experiments that
                 pin their own qdisc (the AQM sweeps) are unaffected.
+  --ledger PATH append one fiveg-ledger/v1 JSONL record per completed run
+                (crash-safe; feeds --resume and tools/fiveg_prof)
+  --resume PATH reload the ledger at PATH, skip every run it already has at
+                the current seed, and keep appending to it; the merged
+                output is byte-identical to an uninterrupted campaign.
+                Incompatible with --trace (ledgers carry no event traces)
+  --progress    heartbeat line on stderr every few seconds with
+                done/failed/running counts and an ETA from ledger history
+  --progress-period S
+                heartbeat period in seconds (default 2)
   --metrics     print each experiment's counters/profile to stderr
   --no-timing   omit wall-clock fields from the JSON and the trace
                 (byte-stable output)
@@ -82,6 +95,7 @@ int main(int argc, char** argv) {
   opt.timeout_s = 600;
   std::string json_path;
   std::string trace_path;
+  std::string resume_path;
   bool print_metrics = false;
   bool include_timing = true;
   bool quiet = false;
@@ -147,6 +161,18 @@ int main(int argc, char** argv) {
         return 2;
       }
       fiveg::core::set_campaign_bottleneck_qdisc(qdisc);
+    } else if (arg == "--ledger") {
+      opt.ledger_path = need_value();
+    } else if (arg == "--resume") {
+      resume_path = need_value();
+    } else if (arg == "--progress") {
+      opt.progress = true;
+    } else if (arg == "--progress-period") {
+      if (!parse_double(need_value(), &opt.progress_period_s) ||
+          opt.progress_period_s <= 0) {
+        std::cerr << "bad --progress-period value\n";
+        return 2;
+      }
     } else if (arg == "--metrics") {
       print_metrics = true;
     } else if (arg == "--no-timing") {
@@ -162,6 +188,38 @@ int main(int argc, char** argv) {
       std::cerr << "unknown option: " << arg << "\n" << kUsage;
       return 2;
     }
+  }
+
+  if (!resume_path.empty()) {
+    if (opt.trace) {
+      // Ledger records carry the full result but not the event trace, so a
+      // resumed campaign cannot reconstruct a complete merged trace.
+      std::cerr << "--resume cannot be combined with --trace\n";
+      return 2;
+    }
+    const fiveg::core::LedgerLoad load =
+        fiveg::core::load_ledger(resume_path);
+    if (!load.ok()) {
+      std::cerr << load.error << "\n";
+      return 2;
+    }
+    if (load.dropped_lines > 0 || load.corrupt_records > 0 ||
+        load.truncated_tail) {
+      std::cerr << "fiveg_runall: ledger " << resume_path << ": skipped "
+                << load.dropped_lines << " unparseable line(s), "
+                << load.corrupt_records << " corrupt record(s)"
+                << (load.truncated_tail ? ", torn final line" : "")
+                << "; those runs will re-run\n";
+    }
+    auto completed = std::make_shared<
+        const std::map<std::string, fiveg::core::ExperimentResult>>(
+        fiveg::core::completed_runs(load, opt.seed));
+    std::cerr << "fiveg_runall: resuming from " << resume_path << ": "
+              << completed->size() << " run(s) already complete\n";
+    opt.resume = std::move(completed);
+    // Keep appending to the same ledger so a second interruption resumes
+    // from the union.
+    if (opt.ledger_path.empty()) opt.ledger_path = resume_path;
   }
 
   const fiveg::core::Runner runner(opt);

@@ -54,6 +54,10 @@ struct ExperimentResult {
   std::string error;       // nonempty iff status != kOk
   std::uint64_t seed = 0;  // the per-experiment forked seed actually used
   double wall_ms = 0;      // wall-clock, excluded from determinism checks
+  // Process-wide peak RSS (kB) sampled when the run completed; like
+  // wall_ms it is execution-domain data, excluded from determinism checks.
+  // Under --jobs N the high-water mark is shared by the whole worker pool.
+  std::uint64_t peak_rss_kb = 0;
   std::string text;        // the captured text-table output
   std::vector<MetricSeries> metrics;
   // Observability capture (see src/obs/). `counters` holds the kSim-clock

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
+#include <iostream>
 #include <memory>
 #include <mutex>
 #include <ostream>
@@ -13,10 +15,12 @@
 
 #include <optional>
 
+#include "core/ledger.h"
 #include "fault/fault.h"
 #include "measure/json.h"
 #include "obs/chrome_trace.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
 #include "sim/rng.h"
 
 namespace fiveg::core {
@@ -98,9 +102,14 @@ void execute(Experiment& exp, std::uint64_t seed, ExecState& state,
     state.result.error = "unknown exception";
   }
   if (registry != nullptr) {
+    // Sample memory at body completion so the profile object carries it.
+    // Process-wide (see prof.h), like wall clocks elsewhere: kWall only.
+    registry->gauge(obs::prof::kPeakRssMetric, obs::MetricClock::kWall)
+        .set(static_cast<double>(obs::prof::peak_rss_kb()));
     state.result.counters = registry->snapshot(obs::MetricClock::kSim);
     state.result.profile = registry->snapshot(obs::MetricClock::kWall);
   }
+  state.result.peak_rss_kb = obs::prof::peak_rss_kb();
   state.result.trace = std::move(tracer);
 }
 
@@ -197,8 +206,54 @@ ExperimentResult Runner::run_one(const std::string& name) const {
     timed_out.error = msg.str();
   }
   timed_out.wall_ms = ms_since(start);
+  timed_out.peak_rss_kb = obs::prof::peak_rss_kb();
   return timed_out;
 }
+
+namespace {
+
+// Shared progress accounting for the heartbeat thread. Completed wall
+// times feed the ETA; the resume set's recorded timings seed it so the
+// very first heartbeat of a resumed campaign already has history.
+struct Progress {
+  std::atomic<std::size_t> started{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::uint64_t> wall_ms_sum{0};
+  std::atomic<std::size_t> wall_samples{0};
+
+  void record(const ExperimentResult& r) {
+    wall_ms_sum.fetch_add(static_cast<std::uint64_t>(r.wall_ms));
+    wall_samples.fetch_add(1);
+    if (r.status != RunStatus::kOk) failed.fetch_add(1);
+    done.fetch_add(1);
+  }
+};
+
+// One stderr heartbeat line. stderr only, so stdout (text/JSON artifacts)
+// stays byte-identical whether or not telemetry is on.
+void print_heartbeat(const Progress& progress, std::size_t total, int jobs,
+                     std::ostream& os) {
+  const std::size_t done = progress.done.load();
+  const std::size_t started = progress.started.load();
+  const std::size_t failed = progress.failed.load();
+  const std::size_t running = started > done ? started - done : 0;
+  os << "fiveg_runall: " << done << "/" << total << " done";
+  if (failed > 0) os << " (" << failed << " failed)";
+  os << ", " << running << " running";
+  const std::size_t samples = progress.wall_samples.load();
+  if (samples > 0 && done < total) {
+    const double mean_ms =
+        static_cast<double>(progress.wall_ms_sum.load()) /
+        static_cast<double>(samples);
+    const double eta_s = mean_ms * static_cast<double>(total - done) /
+                         (1000.0 * static_cast<double>(jobs));
+    os << ", ETA " << static_cast<std::int64_t>(eta_s + 0.5) << "s";
+  }
+  os << "\n";
+}
+
+}  // namespace
 
 RunSummary Runner::run() const {
   const std::vector<std::string> names = selected();
@@ -213,15 +268,70 @@ RunSummary Runner::run() const {
   jobs = std::min<int>(jobs, static_cast<int>(names.size()));
   jobs = std::max(jobs, 1);
 
+  std::unique_ptr<LedgerWriter> ledger;
+  if (!opt_.ledger_path.empty()) {
+    ledger = std::make_unique<LedgerWriter>(opt_.ledger_path);
+    if (!ledger->ok()) {
+      std::fprintf(stderr, "fiveg_runall: %s (continuing without ledger)\n",
+                   ledger->error().c_str());
+      ledger.reset();
+    }
+  }
+
+  Progress progress;
+  if (opt_.resume != nullptr) {
+    // Seed the ETA with the resumed runs' recorded wall clocks.
+    for (const auto& [name, r] : *opt_.resume) {
+      (void)name;
+      progress.wall_ms_sum.fetch_add(static_cast<std::uint64_t>(r.wall_ms));
+      progress.wall_samples.fetch_add(1);
+    }
+  }
+
   const auto start = Clock::now();
   std::atomic<std::size_t> next{0};
   const auto drain = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
       if (i >= names.size()) return;
+      // Resume splice: a ledger record at the right seed stands in for the
+      // run verbatim (and is not re-appended — it is already on disk).
+      if (opt_.resume != nullptr) {
+        const auto it = opt_.resume->find(names[i]);
+        if (it != opt_.resume->end()) {
+          summary.results[i] = it->second;
+          progress.started.fetch_add(1);
+          progress.done.fetch_add(1);
+          continue;
+        }
+      }
+      progress.started.fetch_add(1);
       summary.results[i] = run_one(names[i]);
+      if (ledger != nullptr) ledger->append(summary.results[i]);
+      progress.record(summary.results[i]);
     }
   };
+
+  // Heartbeat: a plain thread ticking on a condition variable so shutdown
+  // is immediate (no sleep to drain) once the pool finishes.
+  std::thread heartbeat;
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  if (opt_.progress && !names.empty()) {
+    const double period = opt_.progress_period_s > 0 ? opt_.progress_period_s
+                                                     : 2.0;
+    heartbeat = std::thread([&, period] {
+      std::unique_lock<std::mutex> lock(hb_mu);
+      for (;;) {
+        if (hb_cv.wait_for(lock, std::chrono::duration<double>(period),
+                           [&] { return hb_stop; })) {
+          return;
+        }
+        print_heartbeat(progress, names.size(), jobs, std::cerr);
+      }
+    });
+  }
 
   if (jobs == 1) {
     drain();
@@ -230,6 +340,16 @@ RunSummary Runner::run() const {
     pool.reserve(static_cast<std::size_t>(jobs));
     for (int j = 0; j < jobs; ++j) pool.emplace_back(drain);
     for (std::thread& t : pool) t.join();
+  }
+
+  if (heartbeat.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+    print_heartbeat(progress, names.size(), jobs, std::cerr);
   }
   summary.wall_ms = ms_since(start);
   return summary;
@@ -362,7 +482,7 @@ void write_json(const RunSummary& summary, std::ostream& os,
                 bool include_timing) {
   measure::JsonWriter w(os);
   w.begin_object();
-  w.kv("schema", "fiveg-runall/v3");
+  w.kv("schema", "fiveg-runall/v4");
   w.key("experiments");
   w.begin_array();
   for (const ExperimentResult& r : summary.results) {
@@ -373,7 +493,10 @@ void write_json(const RunSummary& summary, std::ostream& os,
     w.kv("seed", r.seed);
     w.kv("status", to_string(r.status));
     if (r.status != RunStatus::kOk) w.kv("error", r.error);
-    if (include_timing) w.kv("wall_ms", r.wall_ms);
+    if (include_timing) {
+      w.kv("wall_ms", r.wall_ms);
+      w.kv("peak_rss_kb", r.peak_rss_kb);
+    }
     w.key("metrics");
     w.begin_array();
     for (const MetricSeries& s : r.metrics) {
@@ -416,7 +539,14 @@ void write_json(const RunSummary& summary, std::ostream& os,
   w.kv("ok", summary.count(RunStatus::kOk));
   w.kv("failed", summary.count(RunStatus::kFailed));
   w.kv("timed_out", summary.count(RunStatus::kTimedOut));
-  if (include_timing) w.kv("wall_ms", summary.wall_ms);
+  if (include_timing) {
+    w.kv("wall_ms", summary.wall_ms);
+    std::uint64_t peak = 0;
+    for (const ExperimentResult& r : summary.results) {
+      peak = std::max(peak, r.peak_rss_kb);
+    }
+    w.kv("peak_rss_kb", peak);
+  }
   w.end_object();
   w.end_object();
   os << "\n";

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -37,6 +38,21 @@ struct RunnerOptions {
   // are per-experiment forks, so the campaign stays --jobs-deterministic).
   // Null or empty = no injection; the fault path is inert.
   std::shared_ptr<const fault::FaultPlan> faults;
+  // Campaign ledger (see core/ledger.h): when set, one fiveg-ledger/v1
+  // JSONL record is appended per completed run, as it completes.
+  std::string ledger_path;
+  // Resume set from a prior ledger (core/ledger.h completed_runs): runs
+  // found here are spliced into the summary verbatim instead of executing,
+  // and are not re-appended to the ledger. Because records carry the full
+  // result, the merged campaign output is byte-identical to an
+  // uninterrupted run.
+  std::shared_ptr<const std::map<std::string, ExperimentResult>> resume;
+  // Live telemetry: a heartbeat line on stderr every `progress_period_s`
+  // (done/failed/running counts plus an ETA extrapolated from completed
+  // wall_ms history, seeded by the resume set's recorded timings). stderr
+  // only — stdout stays byte-identical with or without it.
+  bool progress = false;
+  double progress_period_s = 2.0;
 };
 
 /// Outcome of a whole campaign. `results` is sorted by experiment name,
@@ -77,12 +93,20 @@ class Runner {
 /// timing is printed here).
 void write_text(const RunSummary& summary, std::ostream& os);
 
-/// Emits the machine-readable JSON document (schema "fiveg-runall/v3").
+/// Emits the machine-readable JSON document (schema "fiveg-runall/v4").
 /// Each experiment carries a flat `counters` object (deterministic kSim
 /// metrics), optional `histograms` / `digests` objects with full bucket
 /// payloads, and, when `include_timing` is on, a `profile` object (kWall
-/// metrics). `include_timing` off drops every wall-clock field so two runs
-/// at the same seed compare byte-identical regardless of parallelism.
+/// metrics) plus `wall_ms` / `peak_rss_kb`. `include_timing` off drops
+/// every wall-clock field so two runs at the same seed compare
+/// byte-identical regardless of parallelism.
+///
+/// Schema changelog:
+///   v4: per-experiment `peak_rss_kb` and a summary `peak_rss_kb`
+///       (campaign-wide max), both timing-gated like `wall_ms`; wall_ms
+///       and peak_rss_kb are now guaranteed on every status, including
+///       failed and timed-out runs.
+///   v3: full `histograms` / `digests` bucket payloads.
 void write_json(const RunSummary& summary, std::ostream& os,
                 bool include_timing = true);
 

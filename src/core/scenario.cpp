@@ -1,8 +1,10 @@
 #include "core/scenario.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "core/paper.h"
+#include "obs/prof.h"
 
 namespace fiveg::core {
 namespace {
@@ -10,6 +12,15 @@ namespace {
 // Written once by the CLI before any experiment thread starts, then only
 // read — no locking needed.
 net::QdiscConfig g_campaign_qdisc;  // default-constructed = drop-tail
+
+// Scenario/Testbed construction is the self-profiler's "construct" phase;
+// wrapping the factory calls lets the phase cover work done in constructor
+// initializer lists.
+template <typename Fn>
+auto timed_construct(Fn&& fn) {
+  const obs::prof::ScopedPhase phase("construct");
+  return std::forward<Fn>(fn)();
+}
 
 }  // namespace
 
@@ -22,9 +33,12 @@ const net::QdiscConfig& campaign_bottleneck_qdisc() noexcept {
 }
 
 Scenario::Scenario(std::uint64_t seed)
-    : campus_(geo::make_campus(sim::Rng(seed).fork("campus"))),
-      deployment_(ran::make_deployment(&campus_,
-                                       sim::Rng(seed).fork("deployment"))) {}
+    : campus_(timed_construct(
+          [&] { return geo::make_campus(sim::Rng(seed).fork("campus")); })),
+      deployment_(timed_construct([&] {
+        return ran::make_deployment(&campus_,
+                                    sim::Rng(seed).fork("deployment"));
+      })) {}
 
 double baseline_rate_bps(radio::Rat rat, ran::LoadRegime regime,
                          Direction direction) noexcept {
@@ -46,6 +60,7 @@ double baseline_rate_bps(radio::Rat rat, ran::LoadRegime regime,
 
 Testbed::Testbed(sim::Simulator* simulator, const TestbedOptions& options,
                  std::uint64_t seed) {
+  const obs::prof::ScopedPhase phase("construct");
   sim::Rng rng(seed);
   ran_rate_bps_ = options.ran_rate_bps > 0
                       ? options.ran_rate_bps

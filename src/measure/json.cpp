@@ -6,7 +6,8 @@
 
 namespace fiveg::measure {
 
-JsonWriter::JsonWriter(std::ostream& os) : os_(os) {}
+JsonWriter::JsonWriter(std::ostream& os, bool compact)
+    : os_(os), compact_(compact) {}
 
 void JsonWriter::prefix() {
   if (key_pending_) {
@@ -16,8 +17,10 @@ void JsonWriter::prefix() {
   }
   if (stack_.empty()) return;
   if (stack_.back().has_elements) os_ << ",";
-  os_ << "\n";
-  indent();
+  if (!compact_) {
+    os_ << "\n";
+    indent();
+  }
   stack_.back().has_elements = true;
 }
 
@@ -34,7 +37,7 @@ void JsonWriter::begin_object() {
 void JsonWriter::end_object() {
   const bool had = stack_.back().has_elements;
   stack_.pop_back();
-  if (had) {
+  if (had && !compact_) {
     os_ << "\n";
     indent();
   }
@@ -50,7 +53,7 @@ void JsonWriter::begin_array() {
 void JsonWriter::end_array() {
   const bool had = stack_.back().has_elements;
   stack_.pop_back();
-  if (had) {
+  if (had && !compact_) {
     os_ << "\n";
     indent();
   }
@@ -59,7 +62,7 @@ void JsonWriter::end_array() {
 
 void JsonWriter::key(std::string_view k) {
   prefix();
-  os_ << '"' << escape(k) << "\": ";
+  os_ << '"' << escape(k) << (compact_ ? "\":" : "\": ");
   key_pending_ = true;
 }
 

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/prof.h"
+
 namespace fiveg::measure {
 
 TextTable::TextTable(std::string title, std::vector<std::string> header)
@@ -17,6 +19,8 @@ void TextTable::add_row(std::vector<std::string> cells) {
 }
 
 void TextTable::print(std::ostream& os) const {
+  // Table rendering is the self-profiler's "report" phase.
+  const obs::prof::ScopedPhase phase("report");
   std::vector<std::size_t> widths(header_.size());
   for (std::size_t c = 0; c < header_.size(); ++c) {
     widths[c] = header_[c].size();

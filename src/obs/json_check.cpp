@@ -412,6 +412,13 @@ TraceCheck check_chrome_trace(std::string_view text) {
   }
   check.categories.assign(cats.begin(), cats.end());
   check.processes.assign(procs.begin(), procs.end());
+  if (const JsonValue* other = doc->get("otherData")) {
+    if (const JsonValue* dropped = other->get("events_dropped");
+        dropped != nullptr && dropped->is(JsonValue::Type::kNumber) &&
+        dropped->number >= 0) {
+      check.dropped_events = static_cast<std::uint64_t>(dropped->number);
+    }
+  }
   check.ok = true;
   return check;
 }

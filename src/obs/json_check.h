@@ -47,6 +47,10 @@ struct TraceCheck {
   std::uint64_t event_count = 0;       // non-metadata trace events
   std::vector<std::string> categories; // distinct "cat" values, sorted
   std::vector<std::string> processes;  // process_name metadata values, sorted
+  // Ring-buffer truncation accounting from otherData: events lost to
+  // wraparound across all processes. Reported, never a failure — a wrapped
+  // ring is a capacity decision, not a malformed trace.
+  std::uint64_t dropped_events = 0;
 };
 
 /// Parses and validates: top-level object, "traceEvents" array, every event

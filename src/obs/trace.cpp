@@ -1,6 +1,9 @@
 #include "obs/trace.h"
 
+#include <cstdio>
 #include <utility>
+
+#include "obs/obs.h"
 
 namespace fiveg::obs {
 
@@ -16,8 +19,32 @@ void Tracer::emit(TraceEvent e) {
     ring_.push_back(std::move(e));
     return;
   }
+  on_drop();
   ring_[head_] = std::move(e);
   head_ = (head_ + 1) % capacity_;
+}
+
+// Silent truncation is worse than a noisy ring: wrapping is legitimate
+// (the ring bounds memory by design) but the operator must be able to see
+// it happened. One stderr line on the first wrap, a kWall counter for the
+// profile/ledger, and the Chrome exporter's events_dropped field carry the
+// exact count downstream (fiveg_trace_check reports it, never fails on it).
+void Tracer::on_drop() {
+  if (!warned_wrap_) {
+    warned_wrap_ = true;
+    std::fprintf(stderr,
+                 "obs: trace ring wrapped at %zu events; oldest events are "
+                 "dropping (raise --trace-capacity to keep them)\n",
+                 capacity_);
+  }
+  if (!drop_counter_resolved_) {
+    drop_counter_resolved_ = true;
+    if (MetricsRegistry* m = metrics()) {
+      drop_counter_ =
+          &m->counter("obs.trace.dropped_events", MetricClock::kWall);
+    }
+  }
+  if (drop_counter_ != nullptr) drop_counter_->add();
 }
 
 void Tracer::begin(sim::Time at, std::string_view name, std::string_view cat,

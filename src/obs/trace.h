@@ -21,6 +21,8 @@
 
 namespace fiveg::obs {
 
+class Counter;
+
 /// Key/value annotations attached to an event. Values are emitted as JSON
 /// strings (the Chrome writer escapes them).
 using TraceArgs = std::vector<std::pair<std::string, std::string>>;
@@ -128,12 +130,20 @@ class Tracer final : public TraceSink {
   }
 
  private:
+  // First-wrap slow path: warns once on stderr and resolves the
+  // obs.trace.dropped_events counter (kWall domain, so the deterministic
+  // counters object never depends on trace capacity).
+  void on_drop();
+
   std::size_t capacity_;
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  // next overwrite slot once the ring is full
   std::uint64_t emitted_ = 0;
   std::function<sim::Time()> clock_;
   const void* clock_owner_ = nullptr;
+  bool warned_wrap_ = false;
+  bool drop_counter_resolved_ = false;
+  Counter* drop_counter_ = nullptr;
 };
 
 }  // namespace fiveg::obs

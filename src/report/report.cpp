@@ -73,9 +73,12 @@ BuildResult build_reports(const obs::JsonValue& doc) {
     out.error = "missing \"schema\" string";
     return out;
   }
-  if (schema->string != "fiveg-runall/v3") {
+  // v4 is a strict superset of v3 (it only adds timing-gated fields the
+  // report never reads), so both parse identically here.
+  if (schema->string != "fiveg-runall/v3" &&
+      schema->string != "fiveg-runall/v4") {
     out.error = "unsupported schema \"" + schema->string +
-                "\" (need fiveg-runall/v3; re-run fiveg_runall)";
+                "\" (need fiveg-runall/v3 or /v4; re-run fiveg_runall)";
     return out;
   }
   const obs::JsonValue* experiments = doc.get("experiments");

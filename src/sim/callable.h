@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -31,9 +32,19 @@ class Callable {
       ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
       ops_ = &InlineOps<Fn>::kOps;
     } else {
+      ++heap_fallbacks();
       ptr_ = new Fn(std::forward<F>(f));
       ops_ = &HeapOps<Fn>::kOps;
     }
+  }
+
+  /// Running count of heap-fallback constructions on this thread (captures
+  /// too big for the inline buffer). The self-profiler snapshots deltas of
+  /// this to attribute event-core allocations per run; the inline fast path
+  /// never touches it.
+  static std::uint64_t& heap_fallbacks() noexcept {
+    thread_local std::uint64_t count = 0;
+    return count;
   }
 
   Callable(Callable&& other) noexcept { move_from(other); }

@@ -30,6 +30,7 @@ void EventQueue::cancel(EventId id) {
   // Generation mismatch: the event already fired (or was cancelled) and
   // the slot moved on. The stale-id no-op costs nothing and stores nothing.
   if (!s.live || s.gen != gen) return;
+  ++cancelled_;
   s.action.reset();  // release captures immediately
   s.label = nullptr;
   s.live = false;

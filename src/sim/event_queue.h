@@ -70,6 +70,13 @@ class EventQueue {
     return seq_;
   }
 
+  /// Number of live events actually cancelled (stale-id no-ops excluded);
+  /// with scheduled_count() this is the event-churn pair the self-profiler
+  /// reports per run.
+  [[nodiscard]] std::uint64_t cancelled_count() const noexcept {
+    return cancelled_;
+  }
+
   /// Heap occupancy, an upper bound on the runnable-event count (lazily
   /// reaped cancelled items are included until they surface). Used for
   /// queue-depth high-water marks, where the bound is tight enough.
@@ -109,6 +116,7 @@ class EventQueue {
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_;  // recycled slot indices (LIFO)
   std::uint64_t seq_ = 0;
+  std::uint64_t cancelled_ = 0;
 };
 
 }  // namespace fiveg::sim

@@ -7,6 +7,7 @@
 
 #include "fault/fault.h"
 #include "obs/obs.h"
+#include "obs/prof.h"
 
 namespace fiveg::sim {
 
@@ -39,6 +40,10 @@ Simulator::Simulator()
     }
     instances.add();
   }
+  // The Callable heap counter is thread-local and outlives any one
+  // Simulator (worker threads run many experiments back to back), so the
+  // churn baseline starts at its current value, not at zero.
+  last_heap_allocs_ = Callable::heap_fallbacks();
   // With a fault::Runtime installed on this thread, schedule the plan's
   // window toggles as ordinary events on this timeline; without one this
   // is a no-op (the fault path stays inert).
@@ -122,6 +127,24 @@ void Simulator::record_run(double wall_seconds, std::uint64_t events) {
   metrics_
       ->histogram("sim.wall_events_per_sec", obs::MetricClock::kWall)
       .observe(static_cast<double>(events) / wall_seconds);
+  // Self-profiler feed. All of it kWall: the churn deltas are in fact
+  // deterministic, but keeping every prof.* metric out of the kSim
+  // `counters` object is what lets goldens ignore profiling entirely.
+  metrics_->histogram(obs::prof::kPhasePrefix + std::string("simulate"),
+                      obs::MetricClock::kWall)
+      .observe(wall_seconds * 1e3);
+  const std::uint64_t scheduled = queue_.scheduled_count();
+  const std::uint64_t cancelled = queue_.cancelled_count();
+  const std::uint64_t heap = Callable::heap_fallbacks();
+  metrics_->counter(obs::prof::kScheduledMetric, obs::MetricClock::kWall)
+      .add(scheduled - last_scheduled_);
+  metrics_->counter(obs::prof::kCancelledMetric, obs::MetricClock::kWall)
+      .add(cancelled - last_cancelled_);
+  metrics_->counter(obs::prof::kHeapAllocMetric, obs::MetricClock::kWall)
+      .add(heap - last_heap_allocs_);
+  last_scheduled_ = scheduled;
+  last_cancelled_ = cancelled;
+  last_heap_allocs_ = heap;
 }
 
 void Simulator::run() {

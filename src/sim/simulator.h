@@ -124,6 +124,12 @@ class Simulator {
   obs::Gauge* depth_gauge_ = nullptr;
   std::map<const void*, LabelStats> label_stats_;
   double last_depth_traced_ = -1.0;
+  // Self-profiler churn baselines: record_run() publishes the delta of
+  // each source counter since the previous drain, so per-run numbers stay
+  // correct when an experiment drives several run()/run_until() calls.
+  std::uint64_t last_scheduled_ = 0;
+  std::uint64_t last_cancelled_ = 0;
+  std::uint64_t last_heap_allocs_ = 0;
   // Per-instance counter-track name; later instances in the same obs
   // scope get a "#<ordinal>" suffix so timelines never share a track.
   std::string depth_track_ = "sim.queue_depth";

@@ -203,18 +203,21 @@ TEST(RunnerTest, JsonOutputIsWellFormedScaffold) {
   std::ostringstream os;
   write_json(s, os, /*include_timing=*/true);
   const std::string j = os.str();
-  EXPECT_NE(j.find("\"schema\": \"fiveg-runall/v3\""), std::string::npos);
+  EXPECT_NE(j.find("\"schema\": \"fiveg-runall/v4\""), std::string::npos);
   EXPECT_NE(j.find("\"experiments\""), std::string::npos);
   EXPECT_NE(j.find("\"wall_ms\""), std::string::npos);
   EXPECT_NE(j.find("\"summary\""), std::string::npos);
   // The v2 delta: a flat counters object per experiment.
   EXPECT_NE(j.find("\"counters\""), std::string::npos);
   EXPECT_NE(j.find("\"fake.runs\": 1"), std::string::npos);
-  // Timing off really drops the non-deterministic fields — wall_ms AND the
-  // kWall profile object.
+  // The v4 delta: per-run and summary peak RSS (timing-gated).
+  EXPECT_NE(j.find("\"peak_rss_kb\""), std::string::npos);
+  // Timing off really drops the non-deterministic fields — wall_ms,
+  // peak_rss_kb AND the kWall profile object.
   std::ostringstream os2;
   write_json(s, os2, /*include_timing=*/false);
   EXPECT_EQ(os2.str().find("wall_ms"), std::string::npos);
+  EXPECT_EQ(os2.str().find("peak_rss_kb"), std::string::npos);
   EXPECT_EQ(os2.str().find("\"profile\""), std::string::npos);
 }
 

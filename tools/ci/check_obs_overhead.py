@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Non-gating perf-smoke check for the observability/profiler overhead.
+
+usage: check_obs_overhead.py FRESH_JSON BASELINE_JSON [--threshold PCT]
+
+FRESH_JSON is the single-line document bench_obs_overhead prints
+(events_per_sec_median for the disabled path, plus
+profiled_events_per_sec_median / profiled_overhead_pct for a run under a
+metrics scope). BASELINE_JSON is the committed BENCH_obs.json, whose
+"after" block holds the accepted disabled-path median for the current
+tree.
+
+The acceptance bar is the one BENCH_obs.json documents: the *disabled*
+path — what every default campaign runs — must stay within the threshold
+(default 2%) of the baseline. Shared CI runners are too noisy to gate on,
+so this script always exits 0 and emits a GitHub `::warning::` annotation
+on a regression. The profiled-path overhead is reported informationally.
+"""
+import json
+import sys
+
+
+def main(argv):
+    if len(argv) < 3:
+        print("usage: check_obs_overhead.py FRESH_JSON BASELINE_JSON"
+              " [--threshold PCT]")
+        return 0
+    threshold = 2.0
+    if "--threshold" in argv:
+        threshold = float(argv[argv.index("--threshold") + 1])
+
+    try:
+        with open(argv[1]) as f:
+            fresh = json.load(f)
+        with open(argv[2]) as f:
+            baseline = json.load(f)["after"]["median_of_runs"]
+    except (OSError, ValueError, KeyError) as e:
+        print(f"::warning::obs-overhead comparison skipped: {e}")
+        return 0
+
+    now = fresh.get("events_per_sec_median")
+    if not baseline or now is None:
+        print("::warning::obs-overhead: missing events_per_sec_median")
+        return 0
+
+    delta_pct = 100.0 * (now - baseline) / baseline
+    line = (f"disabled-path events/s: {now:,.0f} vs baseline "
+            f"{baseline:,} ({delta_pct:+.1f}%)")
+    if delta_pct < -threshold:
+        print(f"::warning::obs-overhead regression >{threshold:.0f}%: "
+              f"{line}")
+    else:
+        print(f"obs-overhead ok: {line}")
+
+    profiled = fresh.get("profiled_events_per_sec_median")
+    overhead = fresh.get("profiled_overhead_pct")
+    if profiled is not None and overhead is not None:
+        print(f"profiled-path events/s: {profiled:,.0f} "
+              f"({overhead:+.1f}% vs disabled; informational)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -84,5 +84,12 @@ int main(int argc, char** argv) {
   std::cout << path << ": ok, " << check.event_count << " events, "
             << check.categories.size() << " categories, "
             << check.processes.size() << " processes\n";
+  // Ring-buffer truncation is reported, not gated on: a wrapped ring means
+  // the capacity bound kicked in, not that the trace is malformed.
+  if (check.dropped_events > 0) {
+    std::cerr << "fiveg_trace_check: note: " << check.dropped_events
+              << " events were dropped to ring-buffer wraparound "
+                 "(raise --trace-capacity to keep them)\n";
+  }
   return 0;
 }

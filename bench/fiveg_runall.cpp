@@ -7,16 +7,20 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "core/campaign.h"
 #include "core/ledger.h"
 #include "core/runner.h"
 #include "core/scenario.h"
+#include "core/store.h"
 #include "fault/fault.h"
 #include "net/aqm.h"
 
@@ -60,6 +64,20 @@ options:
                 done/failed/running counts and an ETA from ledger history
   --progress-period S
                 heartbeat period in seconds (default 2)
+  --store DIR   append one fiveg-rs/v1 columnar record per completed run to
+                DIR/shard-<k>-of-<n>.fgrs (compact binary; merge and query
+                with tools/fiveg_query). Composes with --ledger/--resume:
+                resumed runs backfill their store records idempotently
+  --manifest PATH
+                run the fiveg-campaign/v1 parameter grid at PATH (seeds x
+                qdisc x fault plans), cells sequentially at their own
+                derived seeds. The manifest supplies seed/filter/smoke;
+                incompatible with --seed/--filter/--smoke/--json/--trace
+                (export merged JSON with fiveg_query instead)
+  --shard K/N   run only this invocation's share of the campaign: work
+                unit i (cell-major, experiment-name order) belongs to
+                shard K iff i mod N == K. The union of shards 0..N-1 is
+                exactly the full campaign (default 0/1)
   --metrics     print each experiment's counters/profile to stderr
   --no-timing   omit wall-clock fields from the JSON and the trace
                 (byte-stable output)
@@ -87,6 +105,156 @@ bool parse_double(const char* s, double* out) {
   return end != s && *end == '\0';
 }
 
+// Opens (creating the directory if needed) this invocation's shard file
+// inside the store directory. Null on failure, with the error printed.
+std::shared_ptr<fiveg::core::StoreWriter> open_store(
+    const std::string& store_dir, std::size_t shard_k, std::size_t shard_n) {
+  std::error_code ec;
+  std::filesystem::create_directories(store_dir, ec);
+  if (ec) {
+    std::cerr << "cannot create store directory " << store_dir << ": "
+              << ec.message() << "\n";
+    return nullptr;
+  }
+  std::string path = store_dir;
+  path += "/shard-";
+  path += std::to_string(shard_k);
+  path += "-of-";
+  path += std::to_string(shard_n);
+  path += fiveg::core::kStoreFileSuffix;
+  auto store = std::make_shared<fiveg::core::StoreWriter>(path);
+  if (!store->ok()) {
+    std::cerr << store->error() << "\n";
+    return nullptr;
+  }
+  return store;
+}
+
+// Manifest mode: expand the parameter grid, take this shard's units, and
+// run cell by cell (sequentially — the qdisc default and fault plan are
+// campaign-wide globals within one cell). Cells share one ledger and one
+// store shard file; each runs at its own derived base seed, so resume
+// records never cross cells.
+int run_manifest(const std::string& manifest_path,
+                 const fiveg::core::RunnerOptions& base_opt,
+                 const std::string& resume_path, const std::string& store_dir,
+                 std::size_t shard_k, std::size_t shard_n, bool quiet,
+                 bool print_metrics, bool include_timing, bool list_only) {
+  fiveg::core::CampaignManifest manifest;
+  std::string error;
+  if (!fiveg::core::load_manifest(manifest_path, &manifest, &error)) {
+    std::cerr << error << "\n";
+    return 2;
+  }
+  const std::vector<fiveg::core::CampaignCell> cells = manifest.cells();
+
+  // Experiment selection is cell-independent: the manifest's filter/smoke
+  // applied to the registry.
+  fiveg::core::RunnerOptions probe;
+  probe.filter = manifest.filter;
+  probe.smoke_only = manifest.smoke;
+  const std::vector<std::string> names =
+      fiveg::core::Runner(probe).selected();
+  if (names.empty()) {
+    std::cerr << "no experiments match the manifest selection\n";
+    return 2;
+  }
+  const std::vector<fiveg::core::CampaignUnit> mine = fiveg::core::shard_units(
+      fiveg::core::campaign_units(cells.size(), names), shard_k, shard_n);
+
+  if (list_only) {
+    for (const fiveg::core::CampaignUnit& u : mine) {
+      std::cout << "seed=" << cells[u.cell].axis_seed << ";"
+                << cells[u.cell].tag() << " " << u.experiment << "\n";
+    }
+    return 0;
+  }
+  if (mine.empty()) {
+    std::cerr << "fiveg_runall: shard " << shard_k << "/" << shard_n
+              << " has no work units\n";
+    return 0;
+  }
+
+  std::vector<std::vector<std::string>> per_cell(cells.size());
+  for (const fiveg::core::CampaignUnit& u : mine) {
+    per_cell[u.cell].push_back(u.experiment);
+  }
+
+  fiveg::core::RunnerOptions base = base_opt;
+  std::unique_ptr<fiveg::core::LedgerLoad> resume_load;
+  if (!resume_path.empty()) {
+    fiveg::core::LedgerLoad load = fiveg::core::load_ledger(resume_path);
+    if (!load.ok()) {
+      std::cerr << load.error << "\n";
+      return 2;
+    }
+    if (load.dropped_lines > 0 || load.corrupt_records > 0 ||
+        load.truncated_tail) {
+      std::cerr << "fiveg_runall: ledger " << resume_path << ": skipped "
+                << load.dropped_lines << " unparseable line(s), "
+                << load.corrupt_records << " corrupt record(s)"
+                << (load.truncated_tail ? ", torn final line" : "")
+                << "; those runs will re-run\n";
+    }
+    resume_load =
+        std::make_unique<fiveg::core::LedgerLoad>(std::move(load));
+    if (base.ledger_path.empty()) base.ledger_path = resume_path;
+  }
+
+  if (!store_dir.empty()) {
+    base.store = open_store(store_dir, shard_k, shard_n);
+    if (base.store == nullptr) return 2;
+  }
+
+  fiveg::core::RunSummary merged;
+  bool all_ok = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (per_cell[i].empty()) continue;
+    const fiveg::core::CampaignCell& cell = cells[i];
+    fiveg::core::RunnerOptions opt = base;
+    opt.seed = cell.base_seed();
+    opt.only_names = per_cell[i];
+    opt.filter.clear();
+    opt.smoke_only = false;
+    opt.store_labels = cell.labels();
+    if (!cell.faults.empty()) {
+      try {
+        opt.faults = std::make_shared<fiveg::fault::FaultPlan>(
+            fiveg::fault::FaultPlan::load(cell.faults));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 2;
+      }
+    }
+    fiveg::net::QdiscConfig qdisc;
+    if (!fiveg::net::parse_qdisc_spec(cell.qdisc, &qdisc)) {
+      std::cerr << "bad qdisc spec in manifest: " << cell.qdisc << "\n";
+      return 2;
+    }
+    fiveg::core::set_campaign_bottleneck_qdisc(qdisc);
+    if (resume_load != nullptr) {
+      opt.resume = std::make_shared<
+          const std::map<std::string, fiveg::core::ExperimentResult>>(
+          fiveg::core::completed_runs(*resume_load, opt.seed));
+    }
+    std::cerr << "fiveg_runall: cell seed=" << cell.axis_seed << ";"
+              << cell.tag() << ": " << per_cell[i].size() << " run(s)\n";
+    const fiveg::core::RunSummary summary = fiveg::core::Runner(opt).run();
+    all_ok = all_ok && summary.all_ok();
+    merged.wall_ms += summary.wall_ms;
+    for (const fiveg::core::ExperimentResult& r : summary.results) {
+      merged.results.push_back(r);
+    }
+  }
+
+  if (!quiet) fiveg::core::write_text(merged, std::cout);
+  if (print_metrics) {
+    fiveg::core::write_metrics(merged, std::cerr, include_timing);
+  }
+  fiveg::core::write_timing(merged, std::cerr);
+  return all_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -96,6 +264,13 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
   std::string resume_path;
+  std::string store_dir;
+  std::string manifest_path;
+  std::size_t shard_k = 0;
+  std::size_t shard_n = 1;
+  bool seed_set = false;
+  bool filter_set = false;
+  bool smoke_set = false;
   bool print_metrics = false;
   bool include_timing = true;
   bool quiet = false;
@@ -122,10 +297,13 @@ int main(int argc, char** argv) {
         return 2;
       }
       opt.seed = seed;
+      seed_set = true;
     } else if (arg == "--filter") {
       opt.filter = need_value();
+      filter_set = true;
     } else if (arg == "--smoke") {
       opt.smoke_only = true;
+      smoke_set = true;
     } else if (arg == "--timeout") {
       if (!parse_double(need_value(), &opt.timeout_s) || opt.timeout_s < 0) {
         std::cerr << "bad --timeout value\n";
@@ -165,6 +343,17 @@ int main(int argc, char** argv) {
       opt.ledger_path = need_value();
     } else if (arg == "--resume") {
       resume_path = need_value();
+    } else if (arg == "--store") {
+      store_dir = need_value();
+    } else if (arg == "--manifest") {
+      manifest_path = need_value();
+    } else if (arg == "--shard") {
+      const char* spec = need_value();
+      if (!fiveg::core::parse_shard_spec(spec, &shard_k, &shard_n)) {
+        std::cerr << "bad --shard value: " << spec
+                  << " (want K/N with K < N)\n";
+        return 2;
+      }
     } else if (arg == "--progress") {
       opt.progress = true;
     } else if (arg == "--progress-period") {
@@ -187,6 +376,40 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "unknown option: " << arg << "\n" << kUsage;
       return 2;
+    }
+  }
+
+  if (!manifest_path.empty()) {
+    if (seed_set || filter_set || smoke_set) {
+      std::cerr << "--manifest supplies seed/filter/smoke; drop the "
+                   "conflicting flags\n";
+      return 2;
+    }
+    if (!json_path.empty() || opt.trace) {
+      std::cerr << "--manifest cannot be combined with --json/--trace; "
+                   "export merged JSON with fiveg_query\n";
+      return 2;
+    }
+    return run_manifest(manifest_path, opt, resume_path, store_dir, shard_k,
+                        shard_n, quiet, print_metrics, include_timing,
+                        list_only);
+  }
+
+  if (shard_n > 1) {
+    // Plain-mode sharding: the single implicit cell's experiments, split
+    // by the same unit rule manifests use.
+    const std::vector<fiveg::core::CampaignUnit> mine =
+        fiveg::core::shard_units(
+            fiveg::core::campaign_units(
+                1, fiveg::core::Runner(opt).selected()),
+            shard_k, shard_n);
+    if (mine.empty()) {
+      std::cerr << "fiveg_runall: shard " << shard_k << "/" << shard_n
+                << " has no work units\n";
+      return 0;
+    }
+    for (const fiveg::core::CampaignUnit& u : mine) {
+      opt.only_names.push_back(u.experiment);
     }
   }
 
@@ -220,6 +443,11 @@ int main(int argc, char** argv) {
     // Keep appending to the same ledger so a second interruption resumes
     // from the union.
     if (opt.ledger_path.empty()) opt.ledger_path = resume_path;
+  }
+
+  if (!store_dir.empty() && !list_only) {
+    opt.store = open_store(store_dir, shard_k, shard_n);
+    if (opt.store == nullptr) return 2;
   }
 
   const fiveg::core::Runner runner(opt);

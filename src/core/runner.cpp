@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <thread>
 #include <utility>
@@ -16,6 +17,7 @@
 #include <optional>
 
 #include "core/ledger.h"
+#include "core/store.h"
 #include "fault/fault.h"
 #include "measure/json.h"
 #include "obs/chrome_trace.h"
@@ -136,8 +138,11 @@ std::uint64_t Runner::fork_seed(std::uint64_t base_seed,
 }
 
 std::vector<std::string> Runner::selected() const {
+  const std::set<std::string> only(opt_.only_names.begin(),
+                                   opt_.only_names.end());
   std::vector<std::string> out;
   for (const std::string& name : registry_->names()) {
+    if (!only.empty() && only.count(name) == 0) continue;
     if (!opt_.filter.empty() &&
         name.find(opt_.filter) == std::string::npos) {
       continue;
@@ -290,6 +295,17 @@ RunSummary Runner::run() const {
 
   const auto start = Clock::now();
   std::atomic<std::size_t> next{0};
+  // Columnar store hookup: every finished result — freshly run or spliced
+  // from the ledger — is offered to the store writer, which skips keys
+  // already on disk. That makes a crashed-and-resumed campaign converge to
+  // exactly one store record per run without any splice bookkeeping.
+  const auto store_result = [this](const ExperimentResult& r) {
+    if (opt_.store == nullptr) return;
+    StoreRecord rec;
+    rec.result = r;
+    rec.labels = opt_.store_labels;
+    opt_.store->append(rec);
+  };
   const auto drain = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
@@ -300,6 +316,7 @@ RunSummary Runner::run() const {
         const auto it = opt_.resume->find(names[i]);
         if (it != opt_.resume->end()) {
           summary.results[i] = it->second;
+          store_result(summary.results[i]);
           progress.started.fetch_add(1);
           progress.done.fetch_add(1);
           continue;
@@ -308,6 +325,7 @@ RunSummary Runner::run() const {
       progress.started.fetch_add(1);
       summary.results[i] = run_one(names[i]);
       if (ledger != nullptr) ledger->append(summary.results[i]);
+      store_result(summary.results[i]);
       progress.record(summary.results[i]);
     }
   };

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/experiment.h"
@@ -22,11 +23,17 @@ class FaultPlan;
 
 namespace fiveg::core {
 
+class StoreWriter;
+
 struct RunnerOptions {
   int jobs = 1;              // <= 0 -> hardware concurrency
   std::uint64_t seed = 42;   // base seed; each experiment gets a fork of it
   std::string filter;        // substring match on the name; empty = all
   bool smoke_only = false;   // only experiments with smoke() == true
+  // Explicit run list (campaign sharding, see core/campaign.h): when
+  // non-empty, exactly these experiments run — filter/smoke_only still
+  // apply on top, and names unknown to the registry are ignored.
+  std::vector<std::string> only_names;
   double timeout_s = 0;      // per-experiment wall-clock cap; 0 = unlimited
   // Observability: each experiment runs under its own obs::Scope. Metrics
   // fill ExperimentResult::counters/profile; tracing additionally buffers
@@ -47,6 +54,13 @@ struct RunnerOptions {
   // result, the merged campaign output is byte-identical to an
   // uninterrupted run.
   std::shared_ptr<const std::map<std::string, ExperimentResult>> resume;
+  // Columnar result store (core/store.h): when set, one fiveg-rs/v1
+  // record per completed run is appended, tagged with `store_labels`
+  // (the campaign cell's dimensions; sorted by key). Resumed runs are
+  // appended too — the writer deduplicates by key, so splicing a ledger
+  // backfills exactly the store records a crash lost and no more.
+  std::shared_ptr<StoreWriter> store;
+  std::vector<std::pair<std::string, std::string>> store_labels;
   // Live telemetry: a heartbeat line on stderr every `progress_period_s`
   // (done/failed/running counts plus an ETA extrapolated from completed
   // wall_ms history, seeded by the resume set's recorded timings). stderr

@@ -44,6 +44,31 @@ void Digest::observe(double v) noexcept {
   }
 }
 
+Digest Digest::restore(std::uint64_t zero_count, double sum, double min,
+                       double max,
+                       std::map<std::int32_t, std::uint64_t> positive_bins,
+                       std::map<std::int32_t, std::uint64_t> negative_bins) {
+  Digest d;
+  d.zero_ = zero_count;
+  d.count_ = zero_count;
+  for (const auto& [k, c] : positive_bins) {
+    (void)k;
+    d.count_ += c;
+  }
+  for (const auto& [k, c] : negative_bins) {
+    (void)k;
+    d.count_ += c;
+  }
+  d.pos_ = std::move(positive_bins);
+  d.neg_ = std::move(negative_bins);
+  if (d.count_ > 0) {
+    d.sum_ = sum;
+    d.min_ = min;
+    d.max_ = max;
+  }
+  return d;
+}
+
 void Digest::merge(const Digest& other) {
   if (other.count_ == 0) return;
   count_ += other.count_;

@@ -35,6 +35,18 @@ class Digest {
   /// Adds every bucket of `other` (exact: the merge of the two multisets).
   void merge(const Digest& other);
 
+  /// Rebuilds a digest from its export surface (the inverse of
+  /// positive_bins/negative_bins/zero_count plus the exact sum/min/max).
+  /// `count` is implied: every observation lands in exactly one bucket, so
+  /// it is the bucket-count total. A restored digest is indistinguishable
+  /// from the original — same quantiles bit-for-bit, same serialization —
+  /// which is what lets the columnar result store drop everything else.
+  /// When the bucket total is zero, sum/min/max are ignored (empty digest).
+  [[nodiscard]] static Digest restore(
+      std::uint64_t zero_count, double sum, double min, double max,
+      std::map<std::int32_t, std::uint64_t> positive_bins,
+      std::map<std::int32_t, std::uint64_t> negative_bins);
+
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
   [[nodiscard]] double min() const noexcept { return count_ > 0 ? min_ : 0.0; }

@@ -65,6 +65,98 @@ double Histogram::quantile(double q) const noexcept {
   return max();
 }
 
+Histogram Histogram::restore(
+    double sum, double min, double max,
+    const std::vector<std::pair<std::int32_t, std::uint64_t>>& bins) {
+  Histogram h;
+  for (const auto& [key, count] : bins) {
+    if (key < 0 || key >= kBuckets) continue;
+    h.buckets_[static_cast<std::size_t>(key)] = count;
+    h.count_ += count;
+  }
+  if (h.count_ > 0) {
+    h.sum_ = sum;
+    h.min_ = min;
+    h.max_ = max;
+  }
+  return h;
+}
+
+MetricSnapshot snapshot_of(const std::string& name, MetricClock clock,
+                           const Counter& c) {
+  MetricSnapshot s;
+  s.name = name;
+  s.kind = MetricSnapshot::Kind::kCounter;
+  s.clock = clock;
+  s.value = static_cast<double>(c.value());
+  s.count = c.value();
+  return s;
+}
+
+MetricSnapshot snapshot_of(const std::string& name, MetricClock clock,
+                           const Gauge& g) {
+  MetricSnapshot s;
+  s.name = name;
+  s.kind = MetricSnapshot::Kind::kGauge;
+  s.clock = clock;
+  s.value = g.value();
+  s.max = g.max();
+  return s;
+}
+
+MetricSnapshot snapshot_of(const std::string& name, MetricClock clock,
+                           const Histogram& h) {
+  MetricSnapshot s;
+  s.name = name;
+  s.kind = MetricSnapshot::Kind::kHistogram;
+  s.clock = clock;
+  s.value = h.mean();
+  s.max = h.max();
+  s.count = h.count();
+  s.sum = h.sum();
+  s.min = h.min();
+  s.p50 = h.quantile(0.50);
+  s.p99 = h.quantile(0.99);
+  const auto& buckets = h.buckets();
+  for (int i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t c = buckets[static_cast<std::size_t>(i)];
+    if (c != 0) s.bins.emplace_back(i, c);
+  }
+  return s;
+}
+
+MetricSnapshot snapshot_of(const std::string& name, MetricClock clock,
+                           const Digest& d) {
+  MetricSnapshot s;
+  s.name = name;
+  s.kind = MetricSnapshot::Kind::kDigest;
+  s.clock = clock;
+  s.value = d.mean();
+  s.count = d.count();
+  s.sum = d.sum();
+  s.min = d.min();
+  s.max = d.max();
+  s.p05 = d.quantile(0.05);
+  s.p25 = d.quantile(0.25);
+  s.p50 = d.quantile(0.50);
+  s.p75 = d.quantile(0.75);
+  s.p90 = d.quantile(0.90);
+  s.p95 = d.quantile(0.95);
+  s.p99 = d.quantile(0.99);
+  s.zero_count = d.zero_count();
+  s.bins.assign(d.positive_bins().begin(), d.positive_bins().end());
+  s.neg_bins.assign(d.negative_bins().begin(), d.negative_bins().end());
+  return s;
+}
+
+void sort_snapshots(std::vector<MetricSnapshot>* snaps) {
+  std::sort(snaps->begin(), snaps->end(),
+            [](const MetricSnapshot& a, const MetricSnapshot& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+            });
+}
+
 namespace {
 
 template <typename Map, typename Metric>
@@ -101,76 +193,23 @@ std::vector<MetricSnapshot> MetricsRegistry::snapshot(
   out.reserve(size());
   for (const auto& [name, slot] : counters_) {
     if (slot.clock != clock) continue;
-    MetricSnapshot s;
-    s.name = name;
-    s.kind = MetricSnapshot::Kind::kCounter;
-    s.clock = slot.clock;
-    s.value = static_cast<double>(slot.metric.value());
-    s.count = slot.metric.value();
-    out.push_back(std::move(s));
+    out.push_back(snapshot_of(name, slot.clock, slot.metric));
   }
   for (const auto& [name, slot] : gauges_) {
     if (slot.clock != clock) continue;
-    MetricSnapshot s;
-    s.name = name;
-    s.kind = MetricSnapshot::Kind::kGauge;
-    s.clock = slot.clock;
-    s.value = slot.metric.value();
-    s.max = slot.metric.max();
-    out.push_back(std::move(s));
+    out.push_back(snapshot_of(name, slot.clock, slot.metric));
   }
   for (const auto& [name, slot] : histograms_) {
     if (slot.clock != clock) continue;
-    MetricSnapshot s;
-    s.name = name;
-    s.kind = MetricSnapshot::Kind::kHistogram;
-    s.clock = slot.clock;
-    s.value = slot.metric.mean();
-    s.max = slot.metric.max();
-    s.count = slot.metric.count();
-    s.sum = slot.metric.sum();
-    s.min = slot.metric.min();
-    s.p50 = slot.metric.quantile(0.50);
-    s.p99 = slot.metric.quantile(0.99);
-    const auto& buckets = slot.metric.buckets();
-    for (int i = 0; i < Histogram::kBuckets; ++i) {
-      const std::uint64_t c = buckets[static_cast<std::size_t>(i)];
-      if (c != 0) s.bins.emplace_back(i, c);
-    }
-    out.push_back(std::move(s));
+    out.push_back(snapshot_of(name, slot.clock, slot.metric));
   }
   for (const auto& [name, slot] : digests_) {
     if (slot.clock != clock) continue;
-    MetricSnapshot s;
-    s.name = name;
-    s.kind = MetricSnapshot::Kind::kDigest;
-    s.clock = slot.clock;
-    s.value = slot.metric.mean();
-    s.count = slot.metric.count();
-    s.sum = slot.metric.sum();
-    s.min = slot.metric.min();
-    s.max = slot.metric.max();
-    s.p05 = slot.metric.quantile(0.05);
-    s.p25 = slot.metric.quantile(0.25);
-    s.p50 = slot.metric.quantile(0.50);
-    s.p75 = slot.metric.quantile(0.75);
-    s.p90 = slot.metric.quantile(0.90);
-    s.p95 = slot.metric.quantile(0.95);
-    s.p99 = slot.metric.quantile(0.99);
-    s.zero_count = slot.metric.zero_count();
-    s.bins.assign(slot.metric.positive_bins().begin(),
-                  slot.metric.positive_bins().end());
-    s.neg_bins.assign(slot.metric.negative_bins().begin(),
-                      slot.metric.negative_bins().end());
-    out.push_back(std::move(s));
+    out.push_back(snapshot_of(name, slot.clock, slot.metric));
   }
-  // The three maps are each sorted; merge-sort the concatenation by name
+  // The four maps are each sorted; merge-sort the concatenation by name
   // (kind breaks ties) so the combined view is byte-stable.
-  std::sort(out.begin(), out.end(),
-            [](const MetricSnapshot& a, const MetricSnapshot& b) {
-              if (a.name != b.name) return a.name < b.name;
-              return static_cast<int>(a.kind) < static_cast<int>(b.kind);
-            });
+  sort_snapshots(&out);
   return out;
 }
 

@@ -89,6 +89,15 @@ class Histogram {
     return buckets_;
   }
 
+  /// Rebuilds a histogram from its export surface (sparse non-empty
+  /// buckets plus the exact sum/min/max). The count is the bucket total —
+  /// every observation lands in exactly one bucket. A restored histogram
+  /// reports the same quantiles bit-for-bit as the original; when the
+  /// bucket total is zero, sum/min/max are ignored (empty histogram).
+  [[nodiscard]] static Histogram restore(
+      double sum, double min, double max,
+      const std::vector<std::pair<std::int32_t, std::uint64_t>>& bins);
+
  private:
   // Bucket i covers [2^(i-32), 2^(i-31)); values <= 0 land in bucket 0.
   [[nodiscard]] static int bucket_of(double v) noexcept;
@@ -145,6 +154,26 @@ struct MetricSnapshot {
   std::vector<std::pair<std::int32_t, std::uint64_t>> neg_bins;
   std::uint64_t zero_count = 0;
 };
+
+/// Flattens one live metric into a MetricSnapshot — the single code path
+/// both MetricsRegistry::snapshot() and the columnar result store's
+/// reconstruction use, so a digest/histogram decoded from stored bucket
+/// columns snapshots bit-identically to the original (same mean division,
+/// same quantile walk).
+[[nodiscard]] MetricSnapshot snapshot_of(const std::string& name,
+                                         MetricClock clock, const Counter& c);
+[[nodiscard]] MetricSnapshot snapshot_of(const std::string& name,
+                                         MetricClock clock, const Gauge& g);
+[[nodiscard]] MetricSnapshot snapshot_of(const std::string& name,
+                                         MetricClock clock,
+                                         const Histogram& h);
+[[nodiscard]] MetricSnapshot snapshot_of(const std::string& name,
+                                         MetricClock clock, const Digest& d);
+
+/// The deterministic order MetricsRegistry::snapshot() returns: by name,
+/// kind breaking ties. Reconstruction paths sort with the same comparator
+/// so rebuilt snapshot vectors are element-for-element identical.
+void sort_snapshots(std::vector<MetricSnapshot>* snaps);
 
 /// Registry of named metrics for one experiment run. Handle references stay
 /// valid for the registry's lifetime (node-based storage). Single-threaded

@@ -14,10 +14,13 @@
 #include <vector>
 
 #include "obs/chrome_trace.h"
+#include "obs/codec.h"
+#include "obs/digest.h"
 #include "obs/json_check.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
 
@@ -576,6 +579,258 @@ TEST(SimulatorObsTest, IdenticalRunsYieldIdenticalTraces) {
   run_once(&second);
   EXPECT_EQ(first, second);
   EXPECT_NE(first.find("\"traceEvents\""), std::string::npos);
+}
+
+// --- binary codec (obs/codec.h) ---
+
+// Serializes a digest through the store codec, no dictionary involved.
+std::string digest_bytes(const Digest& d) {
+  std::string out;
+  codec::encode_digest(&out, d);
+  return out;
+}
+
+Digest decode_digest_or_die(const std::string& bytes) {
+  codec::Reader r(bytes);
+  Digest d;
+  EXPECT_TRUE(codec::decode_digest(&r, &d));
+  EXPECT_TRUE(r.done());
+  return d;
+}
+
+TEST(CodecTest, PrimitiveRoundTrips) {
+  std::string buf;
+  codec::put_varint(&buf, 0);
+  codec::put_varint(&buf, 127);
+  codec::put_varint(&buf, 128);
+  codec::put_varint(&buf, std::numeric_limits<std::uint64_t>::max());
+  codec::put_svarint(&buf, 0);
+  codec::put_svarint(&buf, -1);
+  codec::put_svarint(&buf, std::numeric_limits<std::int64_t>::min());
+  codec::put_f64(&buf, -0.0);
+  codec::put_f64(&buf, std::numeric_limits<double>::quiet_NaN());
+  codec::put_string(&buf, "hello");
+  codec::put_string(&buf, std::string("a\0b", 3));  // embedded NUL
+
+  codec::Reader r(buf);
+  std::uint64_t u = 1;
+  std::int64_t s = 1;
+  double f = 0;
+  std::string str;
+  EXPECT_TRUE(r.get_varint(&u));
+  EXPECT_EQ(u, 0u);
+  EXPECT_TRUE(r.get_varint(&u));
+  EXPECT_EQ(u, 127u);
+  EXPECT_TRUE(r.get_varint(&u));
+  EXPECT_EQ(u, 128u);
+  EXPECT_TRUE(r.get_varint(&u));
+  EXPECT_EQ(u, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(r.get_svarint(&s));
+  EXPECT_EQ(s, 0);
+  EXPECT_TRUE(r.get_svarint(&s));
+  EXPECT_EQ(s, -1);
+  EXPECT_TRUE(r.get_svarint(&s));
+  EXPECT_EQ(s, std::numeric_limits<std::int64_t>::min());
+  EXPECT_TRUE(r.get_f64(&f));
+  EXPECT_TRUE(std::signbit(f));  // -0.0 keeps its sign bit
+  EXPECT_TRUE(r.get_f64(&f));
+  EXPECT_TRUE(std::isnan(f));
+  EXPECT_TRUE(r.get_string(&str));
+  EXPECT_EQ(str, "hello");
+  EXPECT_TRUE(r.get_string(&str));
+  EXPECT_EQ(str, std::string("a\0b", 3));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(CodecTest, ReaderPoisonsOnTruncationAndOverflow) {
+  std::string buf;
+  codec::put_varint(&buf, 1u << 20);
+  buf.resize(buf.size() - 1);  // truncate mid-varint
+  codec::Reader r(buf);
+  std::uint64_t u = 0;
+  EXPECT_FALSE(r.get_varint(&u));
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.get_varint(&u));  // stays poisoned
+
+  // A 10-byte varint encoding more than 64 bits is non-canonical.
+  const std::string over(10, '\xff');
+  codec::Reader r2(over);
+  EXPECT_FALSE(r2.get_varint(&u));
+  EXPECT_FALSE(r2.ok());
+}
+
+TEST(CodecTest, DigestEncodeDecodeEncodeIsFixedPoint) {
+  sim::Rng rng(20260808);
+  Digest original;
+  for (int i = 0; i < 5000; ++i) {
+    // Mixed regimes: positive heavy tail, negatives, exact zeros and
+    // sub-epsilon values that collapse into the zero bucket.
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        original.observe(rng.lognormal(2.0, 1.5));
+        break;
+      case 1:
+        original.observe(-rng.exponential(0.1));
+        break;
+      case 2:
+        original.observe(0.0);
+        break;
+      default:
+        original.observe(rng.uniform(-1e-13, 1e-13));
+        break;
+    }
+  }
+  const std::string once = digest_bytes(original);
+  const Digest decoded = decode_digest_or_die(once);
+  // encode(decode(x)) == encode(x) byte-for-byte...
+  EXPECT_EQ(digest_bytes(decoded), once);
+  // ...and every derived statistic matches bit-for-bit.
+  EXPECT_EQ(decoded.count(), original.count());
+  EXPECT_EQ(decoded.sum(), original.sum());
+  EXPECT_EQ(decoded.min(), original.min());
+  EXPECT_EQ(decoded.max(), original.max());
+  for (const double q : {0.0, 0.05, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(decoded.quantile(q), original.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(CodecTest, DigestEmptySingleSampleAndNegativeOnly) {
+  const Digest empty;
+  const Digest empty2 = decode_digest_or_die(digest_bytes(empty));
+  EXPECT_EQ(empty2.count(), 0u);
+  EXPECT_EQ(digest_bytes(empty2), digest_bytes(empty));
+
+  Digest single;
+  single.observe(-273.15);
+  const Digest single2 = decode_digest_or_die(digest_bytes(single));
+  EXPECT_EQ(single2.count(), 1u);
+  EXPECT_EQ(single2.min(), single.min());
+  EXPECT_EQ(single2.quantile(0.5), single.quantile(0.5));
+
+  Digest negatives;  // exercises the neg_bins column alone
+  for (int i = 1; i <= 100; ++i) negatives.observe(-static_cast<double>(i));
+  const Digest negatives2 = decode_digest_or_die(digest_bytes(negatives));
+  EXPECT_EQ(digest_bytes(negatives2), digest_bytes(negatives));
+  EXPECT_EQ(negatives2.quantile(0.9), negatives.quantile(0.9));
+}
+
+TEST(CodecTest, MergedDecodedDigestsMatchMergedOriginals) {
+  sim::Rng rng(7);
+  Digest a;
+  Digest b;
+  for (int i = 0; i < 2000; ++i) {
+    a.observe(rng.normal(10.0, 3.0));
+    b.observe(-rng.lognormal(0.0, 2.0));
+  }
+  Digest merged_originals = a;  // merge order fixed: a then b
+  merged_originals.merge(b);
+
+  Digest merged_decoded = decode_digest_or_die(digest_bytes(a));
+  merged_decoded.merge(decode_digest_or_die(digest_bytes(b)));
+
+  EXPECT_EQ(digest_bytes(merged_decoded), digest_bytes(merged_originals));
+  EXPECT_EQ(merged_decoded.sum(), merged_originals.sum());
+  for (const double q : {0.05, 0.5, 0.95}) {
+    EXPECT_EQ(merged_decoded.quantile(q), merged_originals.quantile(q));
+  }
+}
+
+TEST(CodecTest, DigestDecodeRejectsZeroCountBin) {
+  // A live digest never exports a zero-count bin; rejecting it on decode
+  // keeps encode∘decode a fixed point. Craft the malformed payload by
+  // hand: zero=0, sum/min/max, one positive bin (key 3, count 0).
+  std::string buf;
+  codec::put_varint(&buf, 0);    // zero_count
+  codec::put_f64(&buf, 1.0);     // sum
+  codec::put_f64(&buf, 1.0);     // min
+  codec::put_f64(&buf, 1.0);     // max
+  codec::put_varint(&buf, 1);    // one positive bin
+  codec::put_svarint(&buf, 3);   // key
+  codec::put_varint(&buf, 0);    // count 0 — invalid
+  codec::put_varint(&buf, 0);    // no negative bins
+  codec::Reader r(buf);
+  Digest d;
+  EXPECT_FALSE(codec::decode_digest(&r, &d));
+}
+
+TEST(CodecTest, HistogramRoundTripsBitForBit) {
+  sim::Rng rng(99);
+  Histogram h;
+  for (int i = 0; i < 3000; ++i) h.observe(rng.exponential(0.001));
+  std::string bytes;
+  codec::encode_histogram(&bytes, h);
+  codec::Reader r(bytes);
+  Histogram back;
+  ASSERT_TRUE(codec::decode_histogram(&r, &back));
+  EXPECT_TRUE(r.done());
+  std::string again;
+  codec::encode_histogram(&again, back);
+  EXPECT_EQ(again, bytes);
+  EXPECT_EQ(back.count(), h.count());
+  EXPECT_EQ(back.quantile(0.5), h.quantile(0.5));
+  EXPECT_EQ(back.quantile(0.99), h.quantile(0.99));
+}
+
+TEST(CodecTest, SnapshotSetRoundTripsThroughDictionary) {
+  MetricsRegistry reg;
+  reg.counter("pkts").add(12345);
+  reg.counter("drops").add(1);
+  reg.gauge("queue").set(3.5);
+  reg.gauge("queue").set(1.0);  // max stays 3.5
+  sim::Rng rng(5);
+  for (int i = 0; i < 500; ++i) {
+    reg.histogram("lat_us").observe(rng.lognormal(3.0, 1.0));
+    reg.digest("tput").observe(rng.normal(100.0, 25.0));
+  }
+  const std::vector<MetricSnapshot> snaps = reg.snapshot(MetricClock::kSim);
+  ASSERT_FALSE(snaps.empty());
+
+  // Self-contained dictionary: intern assigns ids in first-use order.
+  std::vector<std::string> dict;
+  const auto intern = [&dict](std::string_view s) -> std::uint64_t {
+    for (std::size_t i = 0; i < dict.size(); ++i) {
+      if (dict[i] == s) return i;
+    }
+    dict.emplace_back(s);
+    return dict.size() - 1;
+  };
+  const auto resolve = [&dict](std::uint64_t id, std::string* out) {
+    if (id >= dict.size()) return false;
+    *out = dict[id];
+    return true;
+  };
+  std::string bytes;
+  codec::encode_snapshots(&bytes, snaps, intern);
+  codec::Reader r(bytes);
+  std::vector<MetricSnapshot> back;
+  ASSERT_TRUE(codec::decode_snapshots(&r, MetricClock::kSim, resolve, &back));
+  EXPECT_TRUE(r.done());
+
+  ASSERT_EQ(back.size(), snaps.size());
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    const MetricSnapshot& want = snaps[i];
+    const MetricSnapshot& got = back[i];
+    EXPECT_EQ(got.name, want.name);
+    EXPECT_EQ(got.kind, want.kind);
+    EXPECT_EQ(got.clock, want.clock);
+    // Derived fields are recomputed on decode through the same
+    // snapshot_of path — bit-for-bit, not approximately.
+    EXPECT_EQ(got.value, want.value) << want.name;
+    EXPECT_EQ(got.max, want.max) << want.name;
+    EXPECT_EQ(got.count, want.count) << want.name;
+    EXPECT_EQ(got.sum, want.sum) << want.name;
+    EXPECT_EQ(got.min, want.min) << want.name;
+    EXPECT_EQ(got.p05, want.p05) << want.name;
+    EXPECT_EQ(got.p25, want.p25) << want.name;
+    EXPECT_EQ(got.p50, want.p50) << want.name;
+    EXPECT_EQ(got.p75, want.p75) << want.name;
+    EXPECT_EQ(got.p90, want.p90) << want.name;
+    EXPECT_EQ(got.p95, want.p95) << want.name;
+    EXPECT_EQ(got.p99, want.p99) << want.name;
+    EXPECT_EQ(got.bins, want.bins) << want.name;
+    EXPECT_EQ(got.neg_bins, want.neg_bins) << want.name;
+    EXPECT_EQ(got.zero_count, want.zero_count) << want.name;
+  }
 }
 
 }  // namespace

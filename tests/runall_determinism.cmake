@@ -9,6 +9,7 @@
 #
 # Invoked as:
 #   cmake -DRUNALL=<path-to-fiveg_runall> [-DREPORT=<path-to-fiveg_report>]
+#         [-DQUERY=<path-to-fiveg_query>]
 #         [-DFAULTS=<path-to-fault-plan.json>] [-DJOBS=<N;N;...>]
 #         -DWORK_DIR=<dir> -P runall_determinism.cmake
 #
@@ -18,6 +19,11 @@
 # identically (determinism is the contract under test, not KPI health).
 # JOBS lists the parallel worker counts compared against the serial run
 # (default: 8).
+# QUERY additionally gives every run its own --store directory and checks
+# that each store's fiveg_query JSON export is byte-identical to the run's
+# own --json document — i.e. the columnar round-trip is exact at every
+# worker count, so store exports from --jobs 1/2/8 all merge to the same
+# bytes.
 if(NOT RUNALL OR NOT WORK_DIR)
   message(FATAL_ERROR "RUNALL and WORK_DIR must be set")
 endif()
@@ -32,9 +38,14 @@ if(FAULTS)
 endif()
 
 function(run_campaign side jobs)
+  set(store_args)
+  if(QUERY)
+    file(REMOVE_RECURSE ${WORK_DIR}/${side}_store)
+    set(store_args --store ${WORK_DIR}/${side}_store)
+  endif()
   execute_process(
     COMMAND ${RUNALL} ${common} --jobs ${jobs} --json ${WORK_DIR}/${side}.json
-            --trace ${WORK_DIR}/${side}.trace.json
+            --trace ${WORK_DIR}/${side}.trace.json ${store_args}
     OUTPUT_FILE ${WORK_DIR}/${side}.txt
     ERROR_VARIABLE run_err
     RESULT_VARIABLE run_rc)
@@ -44,7 +55,34 @@ function(run_campaign side jobs)
   set(${side}_rc ${run_rc} PARENT_SCOPE)
 endfunction()
 
+# Exports `side`'s store through fiveg_query and requires the result to be
+# byte-identical to the run's own JSON document (--no-timing keeps the
+# document free of wall-clock fields, which the store never holds).
+function(check_store_export side)
+  execute_process(
+    COMMAND ${QUERY} ${WORK_DIR}/${side}_store
+            --export-runall-json ${WORK_DIR}/${side}.store.json
+    OUTPUT_QUIET ERROR_VARIABLE query_err
+    RESULT_VARIABLE query_rc)
+  if(NOT query_rc EQUAL 0)
+    message(FATAL_ERROR
+            "fiveg_query failed on ${side}_store (rc=${query_rc}): "
+            "${query_err}")
+  endif()
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            ${WORK_DIR}/${side}.json ${WORK_DIR}/${side}.store.json
+    RESULT_VARIABLE store_diff)
+  if(NOT store_diff EQUAL 0)
+    message(FATAL_ERROR
+            "${side} store export differs from the run's own JSON")
+  endif()
+endfunction()
+
 run_campaign(serial 1)
+if(QUERY)
+  check_store_export(serial)
+endif()
 
 foreach(jobs ${JOBS})
   set(side parallel${jobs})
@@ -64,6 +102,12 @@ foreach(jobs ${JOBS})
               "--jobs ${jobs} ${artifact} output differs from --jobs 1")
     endif()
   endforeach()
+  # The run's own JSON already matched serial.json byte-for-byte, so a
+  # matching store export here proves store exports agree across all
+  # worker counts too.
+  if(QUERY)
+    check_store_export(${side})
+  endif()
 endforeach()
 
 if(REPORT)

@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
-"""Non-gating perf-smoke check: compare a fresh bench_hotpath run against
-the committed baseline medians in BENCH_hotpath.json.
+"""Non-gating perf-smoke check: compare a fresh benchmark run against the
+committed baseline medians in a BENCH_*.json document.
 
 usage: check_bench_regression.py FRESH_JSON BASELINE_JSON [--threshold PCT]
 
-FRESH_JSON is the single-line document bench_hotpath prints
-(geometry_qps_median, sinr_sweep_qps_median, event_churn_eps_median plus
-the two checksums). BASELINE_JSON is the committed BENCH_hotpath.json,
-whose "after" block holds the accepted medians for the current tree.
+FRESH_JSON is the single-line document the benchmark binary prints.
+BASELINE_JSON is the committed BENCH_*.json, whose "after" block holds the
+accepted numbers for the current tree.
+
+Which metrics to compare comes from the baseline itself: its "compare"
+list maps fresh-run keys to "after" keys, optionally with
+{"direction": "lower"} for metrics where smaller is better (size ratios).
+A baseline without a "compare" list falls back to the bench_hotpath metric
+set, keeping the original BENCH_hotpath.json working unchanged. An "after"
+entry may be a bare number or a {"median_of_runs": N} object.
 
 Shared CI runners are too noisy to gate on, so this script always exits 0.
 It emits a GitHub `::warning::` annotation for every metric that regresses
@@ -18,13 +24,20 @@ import json
 import sys
 
 
-METRICS = [
-    # (fresh-run key, baseline "after" key)
-    ("geometry_qps_median", "geometry_qps"),
-    ("sinr_sweep_qps_median", "sinr_sweep_qps"),
-    ("event_churn_eps_median", "event_churn_eps"),
+# Fallback for baselines predating the "compare" list (BENCH_hotpath.json).
+DEFAULT_COMPARE = [
+    {"fresh": "geometry_qps_median", "baseline": "geometry_qps"},
+    {"fresh": "sinr_sweep_qps_median", "baseline": "sinr_sweep_qps"},
+    {"fresh": "event_churn_eps_median", "baseline": "event_churn_eps"},
 ]
-CHECKSUMS = ["geometry_checksum", "sinr_checksum"]
+CHECKSUM_SUFFIX = "_checksum"
+
+
+def baseline_value(after, key):
+    entry = after.get(key)
+    if isinstance(entry, dict):
+        return entry.get("median_of_runs")
+    return entry
 
 
 def main(argv):
@@ -40,36 +53,47 @@ def main(argv):
         with open(argv[1]) as f:
             fresh = json.load(f)
         with open(argv[2]) as f:
-            after = json.load(f)["after"]
+            baseline = json.load(f)
+        after = baseline["after"]
     except (OSError, ValueError, KeyError) as e:
         print(f"::warning::perf-smoke comparison skipped: {e}")
         return 0
 
+    compare = baseline.get("compare", DEFAULT_COMPARE)
     regressed = 0
-    for fresh_key, base_key in METRICS:
-        base = after.get(base_key, {}).get("median_of_runs")
+    for entry in compare:
+        fresh_key = entry.get("fresh")
+        base_key = entry.get("baseline", fresh_key)
+        lower_is_better = entry.get("direction") == "lower"
+        base = baseline_value(after, base_key)
         now = fresh.get(fresh_key)
         if not base or now is None:
             print(f"::warning::perf-smoke: missing metric {base_key}")
             continue
         delta_pct = 100.0 * (now - base) / base
+        # Normalise so a positive worse_pct always means "got worse".
+        worse_pct = delta_pct if lower_is_better else -delta_pct
         line = (f"{base_key}: {now:,} vs baseline {base:,} "
                 f"({delta_pct:+.1f}%)")
-        if delta_pct < -threshold:
+        if worse_pct > threshold:
             print(f"::warning::perf-smoke regression >{threshold:.0f}%: "
                   f"{line}")
             regressed += 1
         else:
             print(line)
 
-    for key in CHECKSUMS:
-        base, now = after.get(key), fresh.get(key)
-        if base is not None and now is not None and base != now:
+    # Any *_checksum field present in both documents must agree exactly:
+    # checksum drift signals changed output, not noise.
+    for key, base in after.items():
+        if not key.endswith(CHECKSUM_SUFFIX):
+            continue
+        now = fresh.get(key)
+        if now is not None and base != now:
             print(f"::warning::perf-smoke checksum drift in {key}: "
                   f"{now} vs {base} — output changed, not just speed")
 
     print(f"perf-smoke: {regressed} metric(s) past the {threshold:.0f}% "
-          "threshold (informational only; see BENCH_hotpath.json)")
+          "threshold (informational only)")
     return 0
 
 

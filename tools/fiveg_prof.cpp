@@ -5,7 +5,15 @@
 // statuses, or ok runs at the same seed whose deterministic checksum
 // disagrees, i.e. a determinism violation).
 //
-// usage: fiveg_prof LEDGER... [--top N] [--json]
+// With --store DIR the fiveg-rs/v1 columnar store written by the same
+// campaign is loaded alongside and cross-checked against the ledger:
+// every ledgered run must have exactly one store record at the same
+// (experiment, seed), and every store record must be backed by a ledger
+// run. Any missing, duplicated or orphaned record is listed and the exit
+// status is non-zero — this is the cheap end-of-campaign audit that the
+// durable artifacts actually agree.
+//
+// usage: fiveg_prof LEDGER... [--store DIR] [--top N] [--json]
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -17,6 +25,7 @@
 #include <vector>
 
 #include "core/ledger.h"
+#include "core/store.h"
 #include "measure/json.h"
 #include "measure/table.h"
 #include "obs/prof.h"
@@ -32,6 +41,10 @@ Aggregates campaign run ledgers (fiveg_runall --ledger) into wall-time and
 flakiness tables.
 
 options:
+  --store DIR  also load the fiveg-rs/v1 store the campaign wrote with
+               --store and cross-check it against the ledger: every
+               ledgered run must have exactly one store record and vice
+               versa (mismatches are listed; exit status is non-zero)
   --top N   rows in the slowest-runs and label tables (default 10)
   --json    emit a machine-readable fiveg-prof/v1 document instead of text
   -h, --help  this message
@@ -83,16 +96,80 @@ struct LabelAgg {
   double total_ms = 0.0;
 };
 
+// Ledger <-> store audit result. Entries are "name seed=N" keys.
+struct StoreAudit {
+  std::size_t files = 0;
+  std::size_t records = 0;
+  std::vector<std::string> missing;     // in ledger, absent from store
+  std::vector<std::string> duplicated;  // >1 store record for one run
+  std::vector<std::string> orphaned;    // store record with no ledger run
+  [[nodiscard]] bool ok() const {
+    return missing.empty() && duplicated.empty() && orphaned.empty();
+  }
+};
+
+std::string run_key(const std::string& name, std::uint64_t seed) {
+  return name + " seed=" + std::to_string(seed);
+}
+
+// Cross-checks the canonical store view against the ledger: every
+// ledgered run — the store keeps failed runs too, their error string is
+// part of the deterministic payload — must have exactly one store record
+// at its (experiment, seed), and every store record must be backed by a
+// ledgered run. Duplicate ledger lines for one key (a crash re-run) are
+// one logical run.
+StoreAudit audit_store(const std::string& store_dir,
+                       const std::vector<Run>& runs, bool* load_failed) {
+  StoreAudit audit;
+  fiveg::core::StoreDirLoad load = fiveg::core::load_store_dir(store_dir);
+  if (!load.ok()) {
+    std::cerr << "fiveg_prof: " << load.error << "\n";
+    *load_failed = true;
+    return audit;
+  }
+  const std::vector<fiveg::core::StoreRecord> records =
+      fiveg::core::canonical_view(std::move(load.records));
+  audit.files = load.files.size();
+  audit.records = records.size();
+
+  std::map<std::string, std::size_t> store_count;
+  for (const fiveg::core::StoreRecord& rec : records) {
+    ++store_count[run_key(rec.result.name, rec.result.seed)];
+  }
+  std::set<std::string> ledgered;
+  for (const Run& run : runs) {
+    ledgered.insert(run_key(run.result.name, run.result.seed));
+  }
+  for (const std::string& key : ledgered) {
+    const auto it = store_count.find(key);
+    if (it == store_count.end()) {
+      audit.missing.push_back(key);
+    } else if (it->second > 1) {
+      audit.duplicated.push_back(key);
+    }
+  }
+  for (const auto& [key, n] : store_count) {
+    (void)n;
+    if (ledgered.find(key) == ledgered.end()) {
+      audit.orphaned.push_back(key);
+    }
+  }
+  return audit;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
+  std::string store_dir;
   std::size_t top = 10;
   bool as_json = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--top" && i + 1 < argc) {
+    if (arg == "--store" && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (arg == "--top" && i + 1 < argc) {
       char* end = nullptr;
       top = std::strtoull(argv[++i], &end, 10);
       if (end == argv[i] || *end != '\0' || top == 0) {
@@ -211,6 +288,15 @@ int main(int argc, char** argv) {
     timed_out += e.timed_out;
   }
 
+  StoreAudit audit;
+  const bool have_store = !store_dir.empty();
+  if (have_store) {
+    bool load_failed = false;
+    audit = audit_store(store_dir, runs, &load_failed);
+    if (load_failed) return 2;
+  }
+  const bool audit_failed = have_store && !audit.ok();
+
   if (as_json) {
     fiveg::measure::JsonWriter w(std::cout);
     w.begin_object();
@@ -272,9 +358,27 @@ int main(int argc, char** argv) {
       w.end_object();
     }
     w.end_array();
+    if (have_store) {
+      w.key("store");
+      w.begin_object();
+      w.kv("files", static_cast<std::uint64_t>(audit.files));
+      w.kv("records", static_cast<std::uint64_t>(audit.records));
+      const auto string_array = [&w](const char* key,
+                                     const std::vector<std::string>& keys) {
+        w.key(key);
+        w.begin_array();
+        for (const std::string& k : keys) w.value(k);
+        w.end_array();
+      };
+      string_array("missing", audit.missing);
+      string_array("duplicated", audit.duplicated);
+      string_array("orphaned", audit.orphaned);
+      w.kv("consistent", audit.ok());
+      w.end_object();
+    }
     w.end_object();
     std::cout << "\n";
-    return flaky.empty() ? 0 : 1;
+    return flaky.empty() && !audit_failed ? 0 : 1;
   }
 
   std::cout << "campaign: " << runs.size() << " record(s), " << per_exp.size()
@@ -327,5 +431,21 @@ int main(int argc, char** argv) {
   } else {
     std::cout << "no flaky experiments\n";
   }
-  return flaky.empty() ? 0 : 1;
+
+  if (have_store) {
+    std::cout << "\nstore: " << audit.records << " record(s) across "
+              << audit.files << " shard(s)\n";
+    const auto report = [](const char* what,
+                           const std::vector<std::string>& keys) {
+      for (const std::string& key : keys) {
+        std::cout << "  " << what << ": " << key << "\n";
+      }
+    };
+    report("MISSING from store (in ledger)", audit.missing);
+    report("DUPLICATED in store", audit.duplicated);
+    report("ORPHANED in store (no ledger run)", audit.orphaned);
+    std::cout << (audit.ok() ? "ledger and store agree\n"
+                             : "ledger/store MISMATCH\n");
+  }
+  return flaky.empty() && !audit_failed ? 0 : 1;
 }

@@ -21,6 +21,7 @@ void ensure_registered() {
     register_ablation_experiments();
     register_extension_experiments();
     register_aqm_experiments();
+    register_city_experiments();
     return true;
   }();
   (void)once;

@@ -151,6 +151,7 @@ void register_energy_experiments();
 void register_ablation_experiments();
 void register_extension_experiments();
 void register_aqm_experiments();
+void register_city_experiments();
 
 /// Prints the standard "### name — reproduces ..." banner that precedes
 /// every experiment's tables (shared by the registry and the Runner).

@@ -40,6 +40,18 @@ Scenario::Scenario(std::uint64_t seed)
                                     sim::Rng(seed).fork("deployment"));
       })) {}
 
+CityScenario::CityScenario(std::uint64_t seed, const CityConfig& config)
+    : config_(config),
+      campus_(timed_construct([&] {
+        return geo::make_city_campus(sim::Rng(seed).fork("city_campus"),
+                                     config.width_m, config.height_m,
+                                     config.open_fraction);
+      })),
+      deployment_(timed_construct([&] {
+        return ran::make_city_deployment(
+            &campus_, sim::Rng(seed).fork("city_deployment"), config.grid);
+      })) {}
+
 double baseline_rate_bps(radio::Rat rat, ran::LoadRegime regime,
                          Direction direction) noexcept {
   const bool nr = rat == radio::Rat::kNr;

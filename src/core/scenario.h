@@ -35,6 +35,38 @@ class Scenario {
   ran::Deployment deployment_;
 };
 
+/// Geometry of a city-scale scenario: the map extent and the hex grid
+/// deployed over it. Defaults give a ~1.28 km square with a 19-site
+/// (rings=2) NSA grid — the densified layout the paper's coverage
+/// discussion extrapolates to.
+struct CityConfig {
+  double width_m = 1280.0;
+  double height_m = 1280.0;
+  double open_fraction = 0.35;  // city blocks left as parks/lots
+  ran::CityGridConfig grid;
+};
+
+/// A city-scale map + hex-grid NSA deployment, deterministic per seed.
+/// Uses its own rng stream names, so city runs never perturb the paper
+/// campus draws.
+class CityScenario {
+ public:
+  explicit CityScenario(std::uint64_t seed, const CityConfig& config = {});
+
+  [[nodiscard]] const geo::CampusMap& campus() const noexcept {
+    return campus_;
+  }
+  [[nodiscard]] const ran::Deployment& deployment() const noexcept {
+    return deployment_;
+  }
+  [[nodiscard]] const CityConfig& config() const noexcept { return config_; }
+
+ private:
+  CityConfig config_;
+  geo::CampusMap campus_;
+  ran::Deployment deployment_;
+};
+
 /// Which endpoint sends the payload.
 enum class Direction { kDownlink, kUplink };
 

@@ -403,19 +403,24 @@ Point CampusMap::random_outdoor_point(sim::Rng& rng) const {
 
 CampusMap make_campus(sim::Rng rng) {
   // Paper: 0.5 km x 0.92 km, dense urban campus, brick/concrete buildings,
-  // surrounded by tall buildings and open areas.
-  const Rect bounds{{0.0, 0.0}, {500.0, 920.0}};
+  // surrounded by tall buildings and open areas. ~1 in 5 blocks is open.
+  return make_city_campus(std::move(rng), 500.0, 920.0, 0.2);
+}
+
+CampusMap make_city_campus(sim::Rng rng, double width_m, double height_m,
+                           double open_fraction) {
+  const Rect bounds{{0.0, 0.0}, {width_m, height_m}};
 
   std::vector<Building> buildings;
   // Street grid: blocks of 100 m x 115 m separated by 20 m streets. Each
   // block hosts a building with jittered size/position; some blocks stay
-  // open (quads, sports fields).
+  // open (quads, sports fields). The draw sequence per block is fixed, so
+  // the paper parameters reproduce the original make_campus map exactly.
   const double block_w = 100.0, block_h = 115.0;
   int id = 0;
   for (double bx = 10.0; bx + block_w < bounds.max.x; bx += block_w + 20.0) {
     for (double by = 10.0; by + block_h < bounds.max.y; by += block_h + 20.0) {
-      // ~1 in 5 blocks is open space.
-      if (rng.bernoulli(0.2)) continue;
+      if (rng.bernoulli(open_fraction)) continue;
       const double w = rng.uniform(0.55, 0.8) * block_w;
       const double h = rng.uniform(0.55, 0.8) * block_h;
       const double ox = bx + rng.uniform(0.0, block_w - w);

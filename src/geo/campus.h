@@ -145,4 +145,13 @@ class CampusMap {
 /// (sports fields, lawns). Deterministic for a given rng stream.
 [[nodiscard]] CampusMap make_campus(sim::Rng rng);
 
+/// Generalized city builder: the same street-grid generator over a
+/// `width_m` x `height_m` extent with `open_fraction` of blocks left as
+/// open space. make_campus(rng) is exactly
+/// make_city_campus(rng, 500, 920, 0.2) — identical draw order, so the
+/// paper campus (and every golden derived from it) is unchanged.
+[[nodiscard]] CampusMap make_city_campus(sim::Rng rng, double width_m,
+                                         double height_m,
+                                         double open_fraction = 0.25);
+
 }  // namespace fiveg::geo

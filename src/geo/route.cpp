@@ -43,6 +43,17 @@ std::vector<Point> Route::samples(double spacing_m) const {
   return out;
 }
 
+Route make_waypoint_route(const CampusMap& campus, sim::Rng& rng,
+                          int n_waypoints) {
+  const int n = std::max(n_waypoints, 2);
+  std::vector<Point> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back(campus.random_outdoor_point(rng));
+  }
+  return Route(std::move(pts));
+}
+
 Route make_survey_route(const CampusMap& campus, double lane_spacing_m) {
   const Rect& b = campus.bounds();
   std::vector<Point> pts;

@@ -38,4 +38,11 @@ class Route {
 [[nodiscard]] Route make_survey_route(const CampusMap& campus,
                                       double lane_spacing_m = 60.0);
 
+/// Random waypoint route: `n_waypoints` uniformly random outdoor points
+/// joined into a polyline — the city-scale mobility model (the caller's
+/// speed makes it a walking or driving trip). Deterministic per rng
+/// state; at least two waypoints are drawn.
+[[nodiscard]] Route make_waypoint_route(const CampusMap& campus,
+                                        sim::Rng& rng, int n_waypoints = 6);
+
 }  // namespace fiveg::geo

@@ -1,10 +1,27 @@
 #include "measure/kpi_logger.h"
 
+#include <cstdio>
 #include <utility>
 
 namespace fiveg::measure {
 
 void KpiLogger::log(const std::string& kpi, sim::Time at, double value) {
+  const auto it = series_.find(kpi);
+  if (it != series_.end()) {
+    it->second.add(at, value);
+    return;
+  }
+  if (series_.size() >= series_cap_) {
+    ++refused_;
+    if (!warned_) {
+      warned_ = true;
+      std::fprintf(stderr,
+                   "KpiLogger: series cap (%zu) reached; dropping new KPI "
+                   "\"%s\" (aggregate per-UE KPIs into obs digests instead)\n",
+                   series_cap_, kpi.c_str());
+    }
+    return;
+  }
   series_[kpi].add(at, value);
 }
 

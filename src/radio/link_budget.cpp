@@ -100,6 +100,24 @@ void RadioEnvironment::rsrp_dbm_all(const CarrierConfig& c,
       [](const TxSite& s) -> const TxSite& { return s; }, ue, out);
 }
 
+void RadioEnvironment::rsrp_dbm_all_planned(const CarrierConfig& c,
+                                            const SectorPlan& plan,
+                                            const geo::Point& ue,
+                                            double* out) const {
+  double pen = campus_->o2i_loss_db(ue, c.freq_ghz);
+  if (fault_ != nullptr) pen += fault_->coverage_offset_db();
+  const double shadow = field_for(c).at(ue);
+  LinkTerms lt{};
+  std::size_t i = 0;
+  for (const SectorPlan::Entry& e : plan.entries) {
+    if (e.new_pos) lt = link_terms(e.pos, ue, c.freq_ghz);
+    // Same association as rsrp_dbm_all(): tx power + (((gain - pl) - pen)
+    // - shadow), so each value is bit-identical to the unplanned sweep.
+    out[i++] = c.tx_re_power_dbm +
+               (e.antenna.gain_dbi(lt.az) - lt.pl - pen - shadow);
+  }
+}
+
 double RadioEnvironment::rsrp_dbm(const CarrierConfig& c, const TxSite& tx,
                                   const geo::Point& ue) const noexcept {
   return c.tx_re_power_dbm + path_gain_db(c, tx, ue);

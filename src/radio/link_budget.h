@@ -30,6 +30,38 @@ struct TxSite {
   SectorAntenna antenna;
 };
 
+/// A precompiled sweep plan over a fixed sector list. Each entry carries
+/// the sector's position and antenna plus whether it opens a new co-site
+/// group (`new_pos`), decided with the same position-equality test
+/// `rsrp_dbm_all` applies per call. Building the plan once per cohort
+/// hoists those comparisons out of the per-UE loop; the planned sweep is
+/// otherwise the identical computation, so results stay bit-identical.
+struct SectorPlan {
+  struct Entry {
+    geo::Point pos;
+    SectorAntenna antenna;
+    bool new_pos = true;  // first entry of its co-site run in list order
+  };
+  std::vector<Entry> entries;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries.size(); }
+
+  /// Compiles the plan for [first, last): `proj` maps each element to a
+  /// `const TxSite&`, exactly as in rsrp_dbm_all.
+  template <class Iter, class Proj>
+  [[nodiscard]] static SectorPlan build(Iter first, Iter last, Proj proj) {
+    SectorPlan plan;
+    const geo::Point* prev = nullptr;
+    for (Iter it = first; it != last; ++it) {
+      const TxSite& tx = proj(*it);
+      Entry e{tx.pos, tx.antenna, prev == nullptr || !(tx.pos == *prev)};
+      prev = &tx.pos;
+      plan.entries.push_back(e);
+    }
+    return plan;
+  }
+};
+
 /// Radio propagation environment over a campus. Holds per-band shadowing
 /// fields (shadowing decorrelates across the 1.8 / 3.5 GHz bands).
 class RadioEnvironment {
@@ -79,6 +111,14 @@ class RadioEnvironment {
   /// Batched RSRP over a plain site vector.
   void rsrp_dbm_all(const CarrierConfig& c, const std::vector<TxSite>& sites,
                     const geo::Point& ue, std::vector<double>& out) const;
+
+  /// Batched RSRP along a precompiled SectorPlan: writes one dBm value per
+  /// plan entry into `out` (capacity >= plan.size()), each bit-identical
+  /// to the corresponding rsrp_dbm() / rsrp_dbm_all() value. Per-UE
+  /// penetration and shadowing are hoisted exactly as in rsrp_dbm_all; the
+  /// co-site sharing decision comes from the plan's `new_pos` flags.
+  void rsrp_dbm_all_planned(const CarrierConfig& c, const SectorPlan& plan,
+                            const geo::Point& ue, double* out) const;
 
   /// SINR with co-channel interference from `interferers` (all transmitting
   /// at `interferer_load` activity factor) plus thermal noise.

@@ -29,6 +29,11 @@ std::vector<CellMeasurement> Deployment::measure(radio::Rat rat,
   return measure_cells(env_, carrier(rat), cells(rat), ue);
 }
 
+void Deployment::measure_into(radio::Rat rat, const geo::Point& ue,
+                              std::vector<CellMeasurement>& out) const {
+  measure_cells(env_, carrier(rat), cells(rat), ue, 0.5, out);
+}
+
 CellMeasurement Deployment::best(radio::Rat rat, const geo::Point& ue) const {
   return best_cell(env_, carrier(rat), cells(rat), ue);
 }
@@ -121,6 +126,63 @@ Deployment make_deployment(const geo::CampusMap* campus, sim::Rng rng,
     }
   }
 
+  return Deployment(campus, rng.next_u64(), std::move(lte_cells),
+                    std::move(nr_cells));
+}
+
+std::vector<geo::Point> hex_grid_sites(geo::Point center, double isd_m,
+                                       int rings) {
+  // Axial coordinates: every (q, r) with |q|, |r|, |q+r| <= rings. The
+  // q-major loop makes the site order (hence site_ids) deterministic.
+  std::vector<geo::Point> sites;
+  const double row_step = isd_m * 0.8660254037844386;  // isd * sqrt(3)/2
+  for (int q = -rings; q <= rings; ++q) {
+    const int r_lo = std::max(-rings, -q - rings);
+    const int r_hi = std::min(rings, -q + rings);
+    for (int r = r_lo; r <= r_hi; ++r) {
+      sites.push_back({center.x + isd_m * (q + 0.5 * r),
+                       center.y + row_step * r});
+    }
+  }
+  return sites;
+}
+
+Deployment make_city_deployment(const geo::CampusMap* campus, sim::Rng rng,
+                                const CityGridConfig& config) {
+  const geo::Rect& b = campus->bounds();
+  const geo::Point center{(b.min.x + b.max.x) / 2.0,
+                          (b.min.y + b.max.y) / 2.0};
+  const std::vector<geo::Point> sites =
+      hex_grid_sites(center, config.isd_m, std::max(config.rings, 0));
+
+  const int lte_sectors = std::max(config.lte_sectors_per_site, 1);
+  const int nr_sectors = std::max(config.nr_sectors_per_site, 1);
+  std::vector<Cell> lte_cells;
+  std::vector<Cell> nr_cells;
+  int lte_pci = 300;
+  int nr_pci = 500;
+  for (std::size_t s = 0; s < sites.size(); ++s) {
+    const double lte_az = rng.uniform(0.0, 360.0);
+    for (int k = 0; k < lte_sectors; ++k) {
+      Cell cell;
+      cell.pci = lte_pci++;
+      cell.site_id = static_cast<int>(s);
+      cell.rat = radio::Rat::kLte;
+      cell.site = {sites[s],
+                   radio::SectorAntenna(lte_az + k * 360.0 / lte_sectors)};
+      lte_cells.push_back(cell);
+    }
+    const double nr_az = rng.uniform(0.0, 360.0);
+    for (int k = 0; k < nr_sectors; ++k) {
+      Cell cell;
+      cell.pci = nr_pci++;
+      cell.site_id = static_cast<int>(s);
+      cell.rat = radio::Rat::kNr;
+      cell.site = {sites[s],
+                   radio::SectorAntenna(nr_az + k * 360.0 / nr_sectors)};
+      nr_cells.push_back(cell);
+    }
+  }
   return Deployment(campus, rng.next_u64(), std::move(lte_cells),
                     std::move(nr_cells));
 }

@@ -38,6 +38,11 @@ class Deployment {
   [[nodiscard]] std::vector<CellMeasurement> measure(
       radio::Rat rat, const geo::Point& ue) const;
 
+  /// Scratch-buffer variant: fills `out` in place so per-sample sweeps
+  /// (mobility steps, cohort baselines) stay allocation-free.
+  void measure_into(radio::Rat rat, const geo::Point& ue,
+                    std::vector<CellMeasurement>& out) const;
+
   /// Strongest cell of `rat` at `ue`.
   [[nodiscard]] CellMeasurement best(radio::Rat rat,
                                      const geo::Point& ue) const;
@@ -70,5 +75,29 @@ class Deployment {
 /// would close the coverage holes; it is capped at the 13 eNB masts.
 [[nodiscard]] Deployment make_deployment(const geo::CampusMap* campus,
                                          sim::Rng rng, int gnb_sites = 6);
+
+/// Hex-grid city layout, the calibrated multi-cell reference geometry
+/// (3GPP-style rings around a centre site).
+struct CityGridConfig {
+  double isd_m = 200.0;  // inter-site distance between hex neighbours
+  int rings = 2;         // rings around the centre: sites = 1+3r(r+1)
+  int lte_sectors_per_site = 3;
+  int nr_sectors_per_site = 3;
+};
+
+/// The mast positions of a hex grid centred on `center`: the centre site
+/// plus `rings` full rings at `isd_m` spacing, in deterministic axial
+/// (q-major) order. rings=1 -> 7 sites, rings=2 -> 19 sites.
+[[nodiscard]] std::vector<geo::Point> hex_grid_sites(geo::Point center,
+                                                     double isd_m, int rings);
+
+/// Builds a city-scale deployment on `campus`: every hex mast carries both
+/// an eNB and a co-sited gNB (the densified NSA grid), with
+/// `lte_sectors_per_site` / `nr_sectors_per_site` sectors at jittered
+/// azimuths. PCIs start at 300 (LTE) and 500 (NR), clear of the paper
+/// campus ranges. Deterministic for a given rng stream.
+[[nodiscard]] Deployment make_city_deployment(
+    const geo::CampusMap* campus, sim::Rng rng,
+    const CityGridConfig& config = {});
 
 }  // namespace fiveg::ran

@@ -137,8 +137,10 @@ void HandoffEngine::step() {
   if (walked > route_->length_m()) return;  // route done: stop sampling
 
   const geo::Point pos = route_->position_at(walked);
-  const auto lte_meas = dep_->measure(radio::Rat::kLte, pos);
-  const auto nr_meas = dep_->measure(radio::Rat::kNr, pos);
+  dep_->measure_into(radio::Rat::kLte, pos, lte_meas_);
+  dep_->measure_into(radio::Rat::kNr, pos, nr_meas_);
+  const auto& lte_meas = lte_meas_;
+  const auto& nr_meas = nr_meas_;
   log_kpis(pos, lte_meas, nr_meas);
 
   if (fault_ != nullptr && !ho_in_progress_ && !reestablishing_) {

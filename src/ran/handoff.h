@@ -151,6 +151,11 @@ class HandoffEngine {
   std::vector<HandoffRecord> records_;
   std::vector<Interruption> interruptions_;
 
+  // Per-sample measurement scratch, reused every step so the 10 Hz sweep
+  // is allocation-free in steady state (fully rewritten each sample).
+  std::vector<CellMeasurement> lte_meas_;
+  std::vector<CellMeasurement> nr_meas_;
+
   // Fault injection (null when no fault::Runtime is installed).
   fault::Runtime* fault_ = nullptr;
   bool reestablishing_ = false;

@@ -64,19 +64,24 @@ bool A5Detector::update(sim::Time at, double serving_db, double neighbor_db) {
   return false;
 }
 
-bool A3Detector::update(sim::Time at, double serving_db, double neighbor_db) {
+bool a3_step(const A3Config& config, sim::Time& entering_since, sim::Time at,
+             double serving_db, double neighbor_db) noexcept {
   const bool entering =
-      neighbor_db - config_.hysteresis_db > serving_db + config_.offset_db;
+      neighbor_db - config.hysteresis_db > serving_db + config.offset_db;
   if (!entering) {
-    entering_since_ = kNotEntering;
+    entering_since = kA3NotEntering;
     return false;
   }
-  if (entering_since_ == kNotEntering) entering_since_ = at;
-  if (at - entering_since_ >= config_.time_to_trigger) {
-    entering_since_ = kNotEntering;
+  if (entering_since == kA3NotEntering) entering_since = at;
+  if (at - entering_since >= config.time_to_trigger) {
+    entering_since = kA3NotEntering;
     return true;
   }
   return false;
+}
+
+bool A3Detector::update(sim::Time at, double serving_db, double neighbor_db) {
+  return a3_step(config_, entering_since_, at, serving_db, neighbor_db);
 }
 
 }  // namespace fiveg::ran

@@ -98,6 +98,19 @@ class A5Detector {
   bool armed_ = true;
 };
 
+/// Sentinel for "no dwell in progress" in the A3 step helpers below.
+inline constexpr sim::Time kA3NotEntering = -1;
+
+/// Pure A3 evaluation step, shared by A3Detector and the cohort sweep
+/// (ran::UeCohort keeps one `entering_since` slot per UE in a flat
+/// array). Feeds one (serving, neighbour) sample at `at`, advancing the
+/// dwell clock held in `entering_since` (kA3NotEntering when idle), and
+/// returns true exactly when the event fires — then the dwell resets, so
+/// a new one is required to re-fire.
+[[nodiscard]] bool a3_step(const A3Config& config, sim::Time& entering_since,
+                           sim::Time at, double serving_db,
+                           double neighbor_db) noexcept;
+
 /// Stateful A3 evaluator: feed (serving, neighbour) quality samples; fires
 /// once the entering condition holds continuously for time_to_trigger.
 class A3Detector {

@@ -2,36 +2,45 @@
 
 namespace fiveg::ran {
 
-std::optional<HandoffType> NsaUe::update(sim::Time at,
-                                         double best_nr_rsrp_dbm) {
-  if (!nr_attached_) {
-    drop_dwell_since_ = kNotDwelling;
+std::optional<HandoffType> nsa_step(const NsaUe::Config& config,
+                                    bool nr_attached,
+                                    sim::Time& add_dwell_since,
+                                    sim::Time& drop_dwell_since, sim::Time at,
+                                    double best_nr_rsrp_dbm) noexcept {
+  if (!nr_attached) {
+    drop_dwell_since = kNsaNotDwelling;
     const bool addable =
-        best_nr_rsrp_dbm >= config_.service_floor_dbm + config_.add_margin_db;
+        best_nr_rsrp_dbm >= config.service_floor_dbm + config.add_margin_db;
     if (!addable) {
-      add_dwell_since_ = kNotDwelling;
+      add_dwell_since = kNsaNotDwelling;
       return std::nullopt;
     }
-    if (add_dwell_since_ == kNotDwelling) add_dwell_since_ = at;
-    if (at - add_dwell_since_ >= config_.time_to_trigger) {
-      add_dwell_since_ = kNotDwelling;
+    if (add_dwell_since == kNsaNotDwelling) add_dwell_since = at;
+    if (at - add_dwell_since >= config.time_to_trigger) {
+      add_dwell_since = kNsaNotDwelling;
       return HandoffType::k4G5G;
     }
     return std::nullopt;
   }
 
-  add_dwell_since_ = kNotDwelling;
-  const bool lost = best_nr_rsrp_dbm < config_.service_floor_dbm;
+  add_dwell_since = kNsaNotDwelling;
+  const bool lost = best_nr_rsrp_dbm < config.service_floor_dbm;
   if (!lost) {
-    drop_dwell_since_ = kNotDwelling;
+    drop_dwell_since = kNsaNotDwelling;
     return std::nullopt;
   }
-  if (drop_dwell_since_ == kNotDwelling) drop_dwell_since_ = at;
-  if (at - drop_dwell_since_ >= config_.time_to_trigger) {
-    drop_dwell_since_ = kNotDwelling;
+  if (drop_dwell_since == kNsaNotDwelling) drop_dwell_since = at;
+  if (at - drop_dwell_since >= config.time_to_trigger) {
+    drop_dwell_since = kNsaNotDwelling;
     return HandoffType::k5G4G;
   }
   return std::nullopt;
+}
+
+std::optional<HandoffType> NsaUe::update(sim::Time at,
+                                         double best_nr_rsrp_dbm) {
+  return nsa_step(config_, nr_attached_, add_dwell_since_, drop_dwell_since_,
+                  at, best_nr_rsrp_dbm);
 }
 
 void NsaUe::complete(HandoffType t) noexcept {

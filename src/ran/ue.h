@@ -56,4 +56,18 @@ class NsaUe {
   sim::Time drop_dwell_since_ = kNotDwelling;
 };
 
+/// Sentinel for "no dwell in progress" in nsa_step below.
+inline constexpr sim::Time kNsaNotDwelling = -1;
+
+/// Pure NSA add/drop step, shared by NsaUe and the cohort sweep (which
+/// keeps the two dwell clocks per UE in flat arrays). Feeds the best NR
+/// RSRP at `at` given the current attach state; advances the dwell clocks
+/// (kNsaNotDwelling when idle) and returns the vertical hand-off to
+/// execute now, if any. The caller owns the attach state and flips it
+/// when the hand-off completes (NsaUe::complete's logic).
+[[nodiscard]] std::optional<HandoffType> nsa_step(
+    const NsaUe::Config& config, bool nr_attached, sim::Time& add_dwell_since,
+    sim::Time& drop_dwell_since, sim::Time at,
+    double best_nr_rsrp_dbm) noexcept;
+
 }  // namespace fiveg::ran

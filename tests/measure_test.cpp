@@ -278,6 +278,33 @@ TEST(KpiLoggerTest, SeriesAndEvents) {
   EXPECT_EQ(names[1], "sinr_db");
 }
 
+TEST(KpiLoggerTest, SeriesCapRefusesNewNames) {
+  KpiLogger log;
+  log.set_series_cap(3);
+  EXPECT_EQ(log.series_cap(), 3u);
+  log.log("a", 0, 1.0);
+  log.log("b", 0, 2.0);
+  log.log("c", 0, 3.0);
+  // A per-UE naming bug would mint one series per UE; the cap stops it.
+  log.log("rsrp_ue_4711", 0, -80.0);
+  log.log("rsrp_ue_4712", 0, -81.0);
+  EXPECT_EQ(log.kpi_names().size(), 3u);
+  EXPECT_FALSE(log.has("rsrp_ue_4711"));
+  EXPECT_EQ(log.refused_observations(), 2u);
+
+  // Existing series keep growing at the cap.
+  log.log("a", kSecond, 4.0);
+  ASSERT_TRUE(log.find("a").has_value());
+  EXPECT_EQ(log.find("a")->get().size(), 2u);
+  EXPECT_EQ(log.refused_observations(), 2u);
+
+  // Raising the cap admits new names again.
+  log.set_series_cap(4);
+  log.log("d", 0, 5.0);
+  EXPECT_TRUE(log.has("d"));
+  EXPECT_EQ(log.kpi_names().size(), 4u);
+}
+
 TEST(TextTableTest, FormatsAlignedColumns) {
   TextTable t("Demo", {"name", "value"});
   t.add_row({"alpha", "1"});

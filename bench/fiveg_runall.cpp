@@ -34,6 +34,11 @@ same seed; per-experiment timing is printed to stderr.
 
 options:
   --jobs N      worker threads (default: hardware concurrency; 1 = serial)
+  --sim-threads N
+                intra-experiment lane workers for the parallel event core
+                (sim::ParSim); 1 = serial core (default), 0 = auto
+                (hardware concurrency split across --jobs). Output is
+                byte-identical for every value
   --seed N      base seed; every experiment runs on its own fork (default 42)
   --filter S    only experiments whose name contains the substring S
   --smoke       only the fast smoke-tier experiments (CI per-commit tier)
@@ -288,6 +293,11 @@ int main(int argc, char** argv) {
     if (arg == "--jobs") {
       if (!parse_int(need_value(), &opt.jobs)) {
         std::cerr << "bad --jobs value\n";
+        return 2;
+      }
+    } else if (arg == "--sim-threads") {
+      if (!parse_int(need_value(), &opt.sim_threads)) {
+        std::cerr << "bad --sim-threads value\n";
         return 2;
       }
     } else if (arg == "--seed") {

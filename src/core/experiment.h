@@ -75,6 +75,11 @@ struct ExperimentContext {
   std::uint64_t seed = 42;
   std::ostream* out = nullptr;         // never null when run via the registry
   ExperimentResult* result = nullptr;  // null when structured capture is off
+  // Worker threads this experiment may give sim::ParSim (>= 1; the
+  // Runner's --sim-threads budget after the inter/intra split). Thread
+  // count never affects output, so experiments pass it straight through
+  // to ParSimConfig::threads.
+  int sim_threads = 1;
 
   /// Records a scalar sample of `series` (x = running sample index).
   /// No-op when `result` is null, so experiments record unconditionally.

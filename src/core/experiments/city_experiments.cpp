@@ -3,14 +3,17 @@
 // lives in one ran::UeCohort (structure-of-arrays), advanced by a single
 // batched sweep event per sample period; KPIs aggregate into cohort-level
 // digests and the summary tables below — never per-UE series.
+#include <memory>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "core/experiment.h"
 #include "core/scenario.h"
 #include "geo/route.h"
 #include "measure/table.h"
 #include "ran/ue_cohort.h"
+#include "sim/parsim.h"
 
 namespace fiveg::core {
 namespace {
@@ -128,6 +131,167 @@ void run_city(const ExperimentContext& ctx, const CityRunSpec& spec) {
   }
 }
 
+struct CityParSpec {
+  std::string prefix;
+  PartitionedCityConfig part;
+  int ue_per_district = 100;
+  double walk_frac = 0.10;
+  double drive_frac = 0.05;
+  sim::Time duration = 60 * sim::kSecond;
+};
+
+// The partitioned city: one radio-isolated district per ParSim lane, each
+// with its own hex grid, campus and domain-pinned cohort, swept in
+// parallel lock-step windows. Every per-district stream is a named fork
+// of the experiment seed and all KPI aggregation walks districts in index
+// order, so stdout/KPIs/traces are byte-identical for any --sim-threads.
+void run_city_partitioned(const ExperimentContext& ctx,
+                          const CityParSpec& spec) {
+  sim::ParSimConfig pcfg;
+  pcfg.lanes = spec.part.districts;
+  pcfg.threads = ctx.sim_threads;
+  pcfg.lookahead = city_partition_lookahead(spec.part);
+  sim::ParSim par(pcfg);
+
+  struct District {
+    std::unique_ptr<CityScenario> sc;
+    std::unique_ptr<ran::UeCohort> cohort;
+  };
+  std::vector<District> districts(
+      static_cast<std::size_t>(spec.part.districts));
+  for (int k = 0; k < spec.part.districts; ++k) {
+    // Construction happens under the lane scope: the cohort's metric
+    // handles and the district's fault stream must live in lane k's
+    // registry/runtime, never the experiment's.
+    par.with_lane(k, [&, k] {
+      District& d = districts[static_cast<std::size_t>(k)];
+      const std::string tag = "district" + std::to_string(k);
+      d.sc = std::make_unique<CityScenario>(
+          sim::Rng(ctx.seed).fork(tag).seed(), spec.part.district);
+      ran::CohortConfig ccfg;
+      ccfg.name = spec.prefix + ".d" + std::to_string(k);
+      ccfg.domain = k;
+      d.cohort = std::make_unique<ran::UeCohort>(
+          &d.sc->deployment(), ccfg,
+          sim::Rng(ctx.seed).fork(tag + ".cohort"));
+      sim::Rng place = sim::Rng(ctx.seed).fork(tag + ".ues");
+      const int n_walk =
+          static_cast<int>(spec.ue_per_district * spec.walk_frac);
+      const int n_drive =
+          static_cast<int>(spec.ue_per_district * spec.drive_frac);
+      for (int i = 0; i < n_walk; ++i) {
+        d.cohort->add_route(geo::make_waypoint_route(d.sc->campus(), place, 6),
+                            1.4);
+      }
+      for (int i = 0; i < n_drive; ++i) {
+        d.cohort->add_route(geo::make_waypoint_route(d.sc->campus(), place, 4),
+                            11.0);
+      }
+      for (int i = n_walk + n_drive; i < spec.ue_per_district; ++i) {
+        d.cohort->add_stationary(d.sc->campus().random_point(place));
+      }
+      d.cohort->start(&par.lane(k), spec.duration);
+    });
+  }
+
+  par.run_until(spec.duration);
+  par.finish();
+
+  // Aggregate KPIs across districts in index order (canonical merge).
+  std::uint64_t sweeps = 0, rows_computed = 0, rows_reused = 0;
+  std::uint64_t a3 = 0, handoffs = 0, vertical = 0;
+  double nr_rsrp_sum = 0, nr_sinr_sum = 0, lte_rsrp_sum = 0;
+  std::size_t nr_attached = 0, lte_attached = 0, total_ues = 0;
+  for (const District& d : districts) {
+    const ran::UeCohort& cohort = *d.cohort;
+    const ran::UeCohort::Stats& st = cohort.stats();
+    sweeps += st.sweeps;
+    rows_computed += st.rows_computed;
+    rows_reused += st.rows_reused;
+    a3 += st.a3_triggers;
+    handoffs += st.handoffs;
+    vertical += st.vertical_handoffs;
+    total_ues += cohort.size();
+    const std::size_t n_lte =
+        d.sc->deployment().cells(radio::Rat::kLte).size();
+    const std::size_t n_nr = d.sc->deployment().cells(radio::Rat::kNr).size();
+    const auto& lte = cohort.block(radio::Rat::kLte);
+    const auto& nr = cohort.block(radio::Rat::kNr);
+    for (std::size_t u = 0; u < cohort.size(); ++u) {
+      if (const int s = cohort.serving_cell(radio::Rat::kLte, u); s >= 0) {
+        lte_rsrp_sum += lte.rsrp_dbm[u * n_lte + static_cast<std::size_t>(s)];
+        ++lte_attached;
+      }
+      if (const int s = cohort.serving_cell(radio::Rat::kNr, u); s >= 0) {
+        nr_rsrp_sum += nr.rsrp_dbm[u * n_nr + static_cast<std::size_t>(s)];
+        nr_sinr_sum += nr.sinr_db[u * n_nr + static_cast<std::size_t>(s)];
+        ++nr_attached;
+      }
+    }
+  }
+  const double nr_frac =
+      total_ues > 0
+          ? static_cast<double>(nr_attached) / static_cast<double>(total_ues)
+          : 0.0;
+  const double reuse_frac =
+      rows_computed + rows_reused > 0
+          ? static_cast<double>(rows_reused) /
+                static_cast<double>(rows_computed + rows_reused)
+          : 0.0;
+  const ran::Deployment& dep0 = districts.front().sc->deployment();
+
+  // Note: nothing below may depend on the thread count — stdout is part
+  // of the determinism contract. windows() and the lookahead are pure
+  // functions of the event structure; effective_threads() is not printed.
+  TextTable t("Partitioned city \"" + spec.prefix + "\" — aggregate KPIs",
+              {"metric", "value"});
+  t.add_row({"districts (ParSim lanes)",
+             std::to_string(spec.part.districts)});
+  t.add_row({"sites per district",
+             std::to_string(dep0.site_count(radio::Rat::kLte))});
+  t.add_row({"lookahead (us)",
+             std::to_string(par.lookahead() / sim::kMicrosecond)});
+  t.add_row({"lock-step windows", std::to_string(par.windows())});
+  t.add_row({"UEs", std::to_string(total_ues)});
+  t.add_row({"sweeps", std::to_string(sweeps)});
+  t.add_row({"rows computed", std::to_string(rows_computed)});
+  t.add_row({"rows reused", std::to_string(rows_reused)});
+  t.add_row({"row reuse", TextTable::pct(reuse_frac)});
+  t.add_row({"A3 triggers", std::to_string(a3)});
+  t.add_row({"hand-offs", std::to_string(handoffs)});
+  t.add_row({"vertical hand-offs", std::to_string(vertical)});
+  t.add_row({"NR attached", TextTable::pct(nr_frac)});
+  if (nr_attached > 0) {
+    t.add_row({"serving NR RSRP mean (dBm)",
+               TextTable::num(nr_rsrp_sum / nr_attached, 1)});
+    t.add_row({"serving NR SINR mean (dB)",
+               TextTable::num(nr_sinr_sum / nr_attached, 1)});
+  }
+  if (lte_attached > 0) {
+    t.add_row({"serving LTE RSRP mean (dBm)",
+               TextTable::num(lte_rsrp_sum / lte_attached, 1)});
+  }
+  t.print(*ctx.out);
+
+  ctx.metric("districts", static_cast<double>(spec.part.districts), "count");
+  ctx.metric("parsim_windows", static_cast<double>(par.windows()), "count");
+  ctx.metric("ue_count", static_cast<double>(total_ues), "count");
+  ctx.metric("sweeps", static_cast<double>(sweeps), "count");
+  ctx.metric("row_reuse_frac", reuse_frac, "fraction");
+  ctx.metric("a3_triggers", static_cast<double>(a3), "count");
+  ctx.metric("handoffs_total", static_cast<double>(handoffs), "count");
+  ctx.metric("vertical_handoffs", static_cast<double>(vertical), "count");
+  ctx.metric("nr_attached_frac", nr_frac, "fraction");
+  if (nr_attached > 0) {
+    ctx.metric("serving_nr_rsrp_mean_dbm", nr_rsrp_sum / nr_attached, "dBm");
+    ctx.metric("serving_nr_sinr_mean_db", nr_sinr_sum / nr_attached, "dB");
+  }
+  if (lte_attached > 0) {
+    ctx.metric("serving_lte_rsrp_mean_dbm", lte_rsrp_sum / lte_attached,
+               "dBm");
+  }
+}
+
 class CityGridSmokeExperiment final : public Experiment {
  public:
   std::string name() const override { return "city_grid_smoke"; }
@@ -192,12 +356,61 @@ class CityGrid10kExperiment final : public Experiment {
   }
 };
 
+class CityParSmokeExperiment final : public Experiment {
+ public:
+  std::string name() const override { return "city_par_smoke"; }
+  std::string paper_ref() const override {
+    return "Extension (Sec. 3 coverage, partitioned metro)";
+  }
+  std::string description() const override {
+    return "4-district partitioned city (~160 UEs) on the parallel "
+           "lock-step core; byte-identical for any --sim-threads";
+  }
+  bool smoke() const override { return true; }
+
+  void run(const ExperimentContext& ctx) override {
+    CityParSpec spec;
+    spec.prefix = "city_par";
+    spec.part.districts = 4;
+    spec.part.district.width_m = 640.0;
+    spec.part.district.height_m = 640.0;
+    spec.part.district.grid.rings = 1;  // 7 sites per district
+    spec.ue_per_district = 40;
+    spec.duration = 20 * sim::kSecond;
+    run_city_partitioned(ctx, spec);
+  }
+};
+
+class CityPar100kExperiment final : public Experiment {
+ public:
+  std::string name() const override { return "city_par_100k"; }
+  std::string paper_ref() const override {
+    return "Extension (Sec. 3 coverage, partitioned metro)";
+  }
+  std::string description() const override {
+    return "100k-UE metro: 8 radio-isolated districts x 12.5k UEs on "
+           "19-site grids, swept by the parallel lock-step core";
+  }
+
+  void run(const ExperimentContext& ctx) override {
+    CityParSpec spec;
+    spec.prefix = "city_100k";
+    spec.part.districts = 8;
+    spec.ue_per_district = 12500;
+    spec.walk_frac = 0.035;
+    spec.drive_frac = 0.015;
+    run_city_partitioned(ctx, spec);
+  }
+};
+
 }  // namespace
 
 void register_city_experiments() {
   register_experiment<CityGridSmokeExperiment>();
   register_experiment<CityGrid1kExperiment>();
   register_experiment<CityGrid10kExperiment>();
+  register_experiment<CityParSmokeExperiment>();
+  register_experiment<CityPar100kExperiment>();
 }
 
 }  // namespace fiveg::core

@@ -55,7 +55,22 @@ struct ExecOptions {
   bool trace = false;
   std::size_t trace_capacity = 0;
   std::shared_ptr<const fault::FaultPlan> faults;
+  int sim_threads = 1;
 };
+
+// Inter/intra parallelism split. An explicit --sim-threads value is
+// honored as given (capped sanely): the caller asked for that many lane
+// workers per experiment and output never depends on the count. Auto
+// (<= 0) divides the machine between the two axes — each of the `jobs`
+// concurrent experiments gets max(1, hw / jobs) lane workers, so
+// `--jobs 0 --sim-threads 0` saturates without oversubscribing.
+int split_sim_threads(const RunnerOptions& opt) {
+  if (opt.sim_threads > 0) return std::min(opt.sim_threads, 64);
+  int hw = static_cast<int>(std::thread::hardware_concurrency());
+  if (hw <= 0) hw = 1;
+  const int jobs = std::max(opt.jobs <= 0 ? hw : opt.jobs, 1);
+  return std::max(1, hw / jobs);
+}
 
 // Runs the experiment body, capturing text, metrics and exceptions. The
 // obs scope is installed here — on the thread the body actually runs on —
@@ -92,6 +107,7 @@ void execute(Experiment& exp, std::uint64_t seed, ExecState& state,
   ctx.seed = seed;
   ctx.out = &state.out;
   ctx.result = &state.result;
+  ctx.sim_threads = obs_opt.sim_threads;
   try {
     print_banner(exp, seed, state.out);
     exp.run(ctx);
@@ -163,7 +179,8 @@ ExperimentResult Runner::run_one(const std::string& name) const {
   res.seed = fork_seed(opt_.seed, name);
 
   const ExecOptions obs_opt{opt_.collect_metrics, opt_.trace,
-                            opt_.trace_capacity, opt_.faults};
+                            opt_.trace_capacity, opt_.faults,
+                            split_sim_threads(opt_)};
   const auto start = Clock::now();
   if (opt_.timeout_s <= 0) {
     execute(*exp, res.seed, *state, obs_opt);

@@ -27,6 +27,14 @@ class StoreWriter;
 
 struct RunnerOptions {
   int jobs = 1;              // <= 0 -> hardware concurrency
+  // Intra-experiment parallelism (sim::ParSim lane workers) per
+  // experiment. Explicit values are honored as given; <= 0 means auto:
+  // hardware concurrency divided across --jobs (max(1, hw / jobs) per
+  // experiment), so `--jobs 0 --sim-threads 0` saturates the machine
+  // without oversubscribing it. Output is byte-identical for every value
+  // — parallel determinism is ParSim's contract, which is what makes
+  // this knob safe to auto-tune.
+  int sim_threads = 1;
   std::uint64_t seed = 42;   // base seed; each experiment gets a fork of it
   std::string filter;        // substring match on the name; empty = all
   bool smoke_only = false;   // only experiments with smoke() == true

@@ -123,4 +123,16 @@ void Testbed::start_cross_traffic(sim::Time until) {
   if (cross_ != nullptr) cross_->start(until);
 }
 
+sim::Time city_partition_lookahead(const PartitionedCityConfig& config) {
+  // ~5 us/km one-way in fibre (2e8 m/s). Districts interact through the
+  // metro core only — radio reach ends well inside a district — so this
+  // propagation floor is a conservative bound on cross-lane influence.
+  constexpr double kFibreUsPerKm = 5.0;
+  const double one_way_us =
+      std::max(config.backhaul_km, 0.0) * kFibreUsPerKm;
+  const sim::Time floor_ns = 100 * sim::kMicrosecond;
+  return std::max(floor_ns,
+                  static_cast<sim::Time>(one_way_us * 1e3));
+}
+
 }  // namespace fiveg::core

@@ -67,6 +67,27 @@ class CityScenario {
   ran::Deployment deployment_;
 };
 
+/// A city split into radio-isolated districts, one per sim::ParSim lane:
+/// each district is an independent CityScenario (own hex grid, own
+/// campus, own UE cohort) and districts couple only through the wireline
+/// metro core. That physical structure is what licenses parallel
+/// execution — the conservative lookahead below bounds how soon any
+/// district can influence another.
+struct PartitionedCityConfig {
+  int districts = 4;
+  CityConfig district;        // per-district geometry (identical layout,
+                              // per-district seeds)
+  double backhaul_km = 30.0;  // metro fibre between district cores
+};
+
+/// Conservative cross-district lookahead: districts are beyond radio
+/// reach of each other, so the fastest cross-district influence channel
+/// is the metro backhaul. One-way fibre propagation at ~5 us/km over
+/// `backhaul_km` (clamped to >= 100 us, the scheduling floor below which
+/// ParSim falls back to the serial core) bounds the window width.
+[[nodiscard]] sim::Time city_partition_lookahead(
+    const PartitionedCityConfig& config);
+
 /// Which endpoint sends the payload.
 enum class Direction { kDownlink, kUplink };
 

@@ -1,6 +1,7 @@
 #include "net/link.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -81,6 +82,19 @@ double Link::current_rate_bps() const {
 }
 
 void Link::send(Packet p) {
+  // Domain-tagged links refuse traffic injected from a foreign partition
+  // (see Config::domain): such a packet would mutate this lane's queue
+  // state concurrently with its own window.
+  if (config_.domain != sim::kNoLane &&
+      sim::current_lane() != config_.domain) {
+    std::string msg = "net: link '";
+    msg += config_.name;
+    msg += "' pinned to lane ";
+    msg += std::to_string(config_.domain);
+    msg += " offered a packet on lane ";
+    msg += std::to_string(sim::current_lane());
+    throw std::logic_error(msg);
+  }
   ++offered_packets_;
   if (fault_ != nullptr) {
     const double loss = fault_->link_loss(config_.name);

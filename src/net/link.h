@@ -13,6 +13,7 @@
 #include "fault/fault.h"
 #include "net/aqm.h"
 #include "net/packet.h"
+#include "sim/lane.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -34,6 +35,12 @@ class Link {
     std::function<sim::Time(const Packet&)> extra_delay_fn;
     std::function<bool()> blocked_fn;         // true while link is in outage
     std::string name = "link";
+    // Partition affinity (sim::ParSim lane index; sim::kNoLane =
+    // unpinned). A pinned link verifies on every send() that it is
+    // executing on its declared lane — cross-partition packets must go
+    // through ParSim::send with the lookahead delay, never through a
+    // direct sink call into a foreign lane's link.
+    int domain = sim::kNoLane;
   };
 
   /// `sink` receives delivered packets; may be changed later.

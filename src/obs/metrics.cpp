@@ -65,6 +65,15 @@ double Histogram::quantile(double q) const noexcept {
   return max();
 }
 
+void Histogram::merge(const Histogram& other) noexcept {
+  if (other.count_ == 0) return;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+}
+
 Histogram Histogram::restore(
     double sum, double min, double max,
     const std::vector<std::pair<std::int32_t, std::uint64_t>>& bins) {
@@ -185,6 +194,21 @@ Histogram& MetricsRegistry::histogram(std::string_view name,
 
 Digest& MetricsRegistry::digest(std::string_view name, MetricClock clock) {
   return find_or_create<decltype(digests_), Digest>(digests_, name, clock);
+}
+
+void MetricsRegistry::merge_from(const MetricsRegistry& other) {
+  for (const auto& [name, slot] : other.counters_) {
+    counter(name, slot.clock).add(slot.metric.value());
+  }
+  for (const auto& [name, slot] : other.gauges_) {
+    gauge(name, slot.clock).merge(slot.metric);
+  }
+  for (const auto& [name, slot] : other.histograms_) {
+    histogram(name, slot.clock).merge(slot.metric);
+  }
+  for (const auto& [name, slot] : other.digests_) {
+    digest(name, slot.clock).merge(slot.metric);
+  }
 }
 
 std::vector<MetricSnapshot> MetricsRegistry::snapshot(

@@ -56,6 +56,15 @@ class Gauge {
     return max_ == kUnset ? 0.0 : max_;
   }
 
+  /// Folds another gauge in: the other's value wins (last writer in merge
+  /// order) and the high-water mark widens. A never-written gauge leaves
+  /// this one untouched.
+  void merge(const Gauge& other) noexcept {
+    if (other.max_ == kUnset) return;
+    value_ = other.value_;
+    update_max(other.max_);
+  }
+
  private:
   static constexpr double kUnset = -std::numeric_limits<double>::infinity();
   double value_ = 0.0;
@@ -97,6 +106,12 @@ class Histogram {
   [[nodiscard]] static Histogram restore(
       double sum, double min, double max,
       const std::vector<std::pair<std::int32_t, std::uint64_t>>& bins);
+
+  /// Folds another histogram in: counts and buckets add, sums accumulate
+  /// in argument order (this += other), min/max widen. Merging per-lane
+  /// histograms in lane-index order gives one canonical result for any
+  /// worker-thread count.
+  void merge(const Histogram& other) noexcept;
 
  private:
   // Bucket i covers [2^(i-32), 2^(i-31)); values <= 0 land in bucket 0.
@@ -214,6 +229,15 @@ class MetricsRegistry {
   /// All metrics of one clock domain, sorted by (name, kind) so reports and
   /// JSON are byte-stable.
   [[nodiscard]] std::vector<MetricSnapshot> snapshot(MetricClock clock) const;
+
+  /// Folds every metric of `other` into this registry, creating entries as
+  /// needed (new entries keep the source's clock; existing entries keep
+  /// their own, first-writer-wins like find-or-create). Counters and
+  /// histogram/digest buckets add; gauges take the source value and widen
+  /// their high-water mark. sim::ParSim merges per-lane registries in
+  /// lane-index order, so the result is a pure function of lane contents,
+  /// never of thread scheduling.
+  void merge_from(const MetricsRegistry& other);
 
   [[nodiscard]] std::size_t size() const noexcept {
     return counters_.size() + gauges_.size() + histograms_.size() +

@@ -107,6 +107,11 @@ Tracer::Span Tracer::span(std::string_view name, std::string_view cat,
   return Span(this, std::string(name), std::string(cat));
 }
 
+void Tracer::append_from(const Tracer& other) {
+  other.for_each([this](const TraceEvent& e) { emit(e); });
+  inherited_drops_ += other.dropped();
+}
+
 std::vector<TraceEvent> Tracer::snapshot() const {
   std::vector<TraceEvent> out;
   out.reserve(ring_.size());

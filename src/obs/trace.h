@@ -115,6 +115,12 @@ class Tracer final : public TraceSink {
   [[nodiscard]] Span span(std::string_view name, std::string_view cat,
                           TraceArgs args = {});
 
+  /// Replays another tracer's buffered events into this ring (oldest
+  /// first) and inherits its drop count. sim::ParSim concatenates lane
+  /// rings in lane-index order after the lanes have quiesced, so the
+  /// merged stream is identical for any worker-thread count.
+  void append_from(const Tracer& other);
+
   /// Buffered events, oldest first.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
   /// Visits buffered events oldest-first without copying.
@@ -124,9 +130,10 @@ class Tracer final : public TraceSink {
   [[nodiscard]] std::size_t buffered() const noexcept { return ring_.size(); }
   /// Total events ever emitted (>= buffered()).
   [[nodiscard]] std::uint64_t emitted() const noexcept { return emitted_; }
-  /// Events lost to ring wraparound.
+  /// Events lost to ring wraparound, including drops inherited from
+  /// appended lane tracers.
   [[nodiscard]] std::uint64_t dropped() const noexcept {
-    return emitted_ - ring_.size();
+    return emitted_ - ring_.size() + inherited_drops_;
   }
 
  private:
@@ -139,6 +146,7 @@ class Tracer final : public TraceSink {
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  // next overwrite slot once the ring is full
   std::uint64_t emitted_ = 0;
+  std::uint64_t inherited_drops_ = 0;
   std::function<sim::Time()> clock_;
   const void* clock_owner_ = nullptr;
   bool warned_wrap_ = false;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "obs/obs.h"
@@ -339,6 +341,19 @@ void UeCohort::sweep(sim::Time now) {
 }
 
 void UeCohort::tick(sim::Simulator* simulator, sim::Time until) {
+  // Domain-tagged cohorts refuse to sweep off their declared partition:
+  // running here with foreign lane state installed would bump another
+  // lane's registry and draw from another lane's fault runtime.
+  if (config_.domain != sim::kNoLane &&
+      sim::current_lane() != config_.domain) {
+    std::string msg = "ran: cohort '";
+    msg += config_.name;
+    msg += "' pinned to lane ";
+    msg += std::to_string(config_.domain);
+    msg += " swept on lane ";
+    msg += std::to_string(sim::current_lane());
+    throw std::logic_error(msg);
+  }
   const sim::Time now = simulator->now();
   if (now > until) return;
   sweep(now);

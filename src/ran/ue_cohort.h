@@ -35,6 +35,7 @@
 #include "ran/nsa_signaling.h"
 #include "ran/rrc.h"
 #include "ran/ue.h"
+#include "sim/lane.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -47,6 +48,12 @@ struct CohortConfig {
   A3Config a3;
   NsaUe::Config nsa;
   double interferer_load = 0.5;
+  // Partition affinity (sim::ParSim lane index). Default: unpinned. A
+  // pinned cohort verifies at every sweep that it is executing on its
+  // declared lane — the cheap guard against accidentally scheduling a
+  // partition's work onto a foreign timeline, where its lane-local
+  // metric handles and fault runtime would race.
+  int domain = sim::kNoLane;
 };
 
 /// A batch of UEs stepped together against one Deployment.

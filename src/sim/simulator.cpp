@@ -161,6 +161,15 @@ void Simulator::run() {
   record_run(seconds_since(start), executed_ - before);
 }
 
+std::uint64_t Simulator::run_window(Time end_exclusive) {
+  std::uint64_t n = 0;
+  while (!stopped_ && !queue_.empty() && queue_.next_time() < end_exclusive) {
+    step();
+    ++n;
+  }
+  return n;
+}
+
 void Simulator::run_until(Time deadline) {
   stopped_ = false;
   if (metrics_ == nullptr) {

@@ -79,8 +79,46 @@ class Simulator {
   /// Runs exactly one event if any is pending. Returns false when drained.
   bool step();
 
+  /// Runs every runnable event with time strictly before `end_exclusive`,
+  /// including events those events schedule back inside the window. Unlike
+  /// `run_until`, it neither advances the clock past the last executed
+  /// event nor publishes per-run profiling — the parallel driver
+  /// (sim::ParSim) aggregates churn across lanes itself. Honors `stop()`.
+  /// Returns the number of events executed.
+  std::uint64_t run_window(Time end_exclusive);
+
+  /// Advances the clock to `t` if it is ahead (idle catch-up at a window
+  /// barrier); never moves time backwards.
+  void advance_to(Time t) noexcept { now_ = std::max(now_, t); }
+
+  /// Earliest runnable event time, or `fallback` when the set is empty.
+  [[nodiscard]] Time next_event_time(Time fallback) const {
+    return queue_.empty() ? fallback : queue_.next_time();
+  }
+
   /// Makes `run`/`run_until` return after the current event completes.
   void stop() noexcept { stopped_ = true; }
+
+  /// Whether `stop()` was requested and not yet cleared by `run`/
+  /// `run_until`. A stopped lane is excluded from parallel window
+  /// scheduling until restarted.
+  [[nodiscard]] bool stop_requested() const noexcept { return stopped_; }
+
+  /// Lifetime schedule()/cancel() totals from the pending-event set. The
+  /// parallel driver sums these across lane simulators to publish the
+  /// self-profiler churn counters exactly once per experiment.
+  [[nodiscard]] std::uint64_t scheduled_total() const noexcept {
+    return queue_.scheduled_count();
+  }
+  [[nodiscard]] std::uint64_t cancelled_total() const noexcept {
+    return queue_.cancelled_count();
+  }
+
+  /// Overrides the queue-depth counter-track name. Must be called before
+  /// the first traced event. The parallel driver renames each lane's track
+  /// ("sim.queue_depth#p0", ...) because merged lane traces share one ring
+  /// and fiveg_trace_check enforces per-track time monotonicity.
+  void set_depth_track(std::string name) { depth_track_ = std::move(name); }
 
   /// Number of events executed so far (diagnostic / perf benches).
   [[nodiscard]] std::uint64_t executed_events() const noexcept {

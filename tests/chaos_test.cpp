@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/runner.h"
+#include "core/scenario.h"
 #include "energy/rrc_power_machine.h"
 #include "fault/fault.h"
 #include "fault/invariants.h"
@@ -22,8 +23,12 @@
 #include "net/link.h"
 #include "net/packet.h"
 #include "net/path.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
 #include "ran/deployment.h"
 #include "ran/handoff.h"
+#include "ran/ue_cohort.h"
+#include "sim/parsim.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "tcp/cc_algorithms.h"
@@ -543,6 +548,211 @@ TEST(EnergyChaosTest, ReplayResidenciesCoverEveryModel) {
   }
   EXPECT_TRUE(checker.ok()) << checker.report();
   EXPECT_GE(checker.checks_run(), 8u * 3u);
+}
+
+// --- parsim: the fault campaign on the parallel lock-step core ---
+
+// Three domain-pinned link worlds, one per sim::ParSim lane, offered
+// packets through a burst-loss window. Returns a canonical transcript
+// (per-lane ledgers + merged deterministic metrics); every partition must
+// keep packet conservation and the transcript must not depend on the
+// worker-thread count.
+std::string run_partitioned_fault_links(int threads) {
+  fault::FaultPlan plan;
+  plan.add(link_loss(kSecond, 3 * kSecond, 0.35));
+  fault::Runtime rt(&plan, sim::Rng(42).fork("fault").seed());
+  const fault::ScopedFaults fscope(&rt);
+  obs::MetricsRegistry reg;
+  const obs::ScopedObs oscope(nullptr, &reg);
+
+  sim::ParSimConfig cfg;
+  cfg.lanes = 3;
+  cfg.threads = threads;
+  cfg.lookahead = 200 * sim::kMicrosecond;
+  sim::ParSim par(cfg);
+
+  struct World {
+    std::unique_ptr<net::CountingSink> sink;
+    std::unique_ptr<net::Link> link;
+  };
+  std::vector<World> worlds(3);
+  for (int k = 0; k < 3; ++k) {
+    par.with_lane(k, [&, k] {
+      World& w = worlds[static_cast<std::size_t>(k)];
+      w.sink = std::make_unique<net::CountingSink>();
+      net::Link::Config lcfg;
+      lcfg.rate_bps = 12e6;
+      lcfg.queue_bytes = 8 * 1500;
+      lcfg.name = "chaos-lane" + std::to_string(k);
+      lcfg.domain = k;
+      w.link = std::make_unique<net::Link>(&par.lane(k), lcfg, w.sink.get());
+      net::Link* link = w.link.get();
+      for (int i = 0; i < 400; ++i) {
+        par.lane(k).schedule_at(i * from_millis(10), [link, i] {
+          link->send(make_packet(i));
+        });
+      }
+    });
+  }
+  par.run_until(5 * kSecond);
+  par.finish();
+
+  std::ostringstream os;
+  std::uint64_t fault_drops = 0;
+  for (int k = 0; k < 3; ++k) {
+    const World& w = worlds[static_cast<std::size_t>(k)];
+    fault::InvariantChecker checker;
+    checker.check_link_conservation(*w.link);
+    EXPECT_TRUE(checker.ok()) << "lane " << k << ": " << checker.report();
+    fault_drops += w.link->fault_dropped_packets();
+    os << "lane" << k << ": offered=" << w.link->offered_packets()
+       << " delivered=" << w.link->delivered_packets()
+       << " fault_dropped=" << w.link->fault_dropped_packets()
+       << " sink=" << w.sink->packets() << "\n";
+  }
+  EXPECT_GT(fault_drops, 0u) << "the burst never fired";
+  for (const auto& s : reg.snapshot(obs::MetricClock::kSim)) {
+    os << s.name << '=' << s.value << ";";
+  }
+  return os.str();
+}
+
+TEST(ParSimChaosTest, FaultedPartitionsConserveAndStayThreadInvariant) {
+  const std::string serial = run_partitioned_fault_links(1);
+  EXPECT_EQ(serial, run_partitioned_fault_links(2));
+  EXPECT_EQ(serial, run_partitioned_fault_links(4));
+}
+
+// A 2-district partitioned city on the parallel core: the Runner installs
+// the fault plan (sector outage + burst loss + coverage hole) and the
+// campaign output must be byte-identical across every --jobs x
+// --sim-threads cell.
+class PartitionedCityChaosExperiment final : public core::Experiment {
+ public:
+  std::string name() const override { return "par_city_chaos"; }
+  std::string paper_ref() const override { return "chaos"; }
+  std::string description() const override {
+    return "partitioned city under sector outage + coverage hole";
+  }
+  bool smoke() const override { return true; }
+
+  void run(const core::ExperimentContext& ctx) override {
+    core::PartitionedCityConfig part;
+    part.districts = 2;
+    part.district.width_m = 640.0;
+    part.district.height_m = 640.0;
+    part.district.grid.rings = 1;
+
+    sim::ParSimConfig pcfg;
+    pcfg.lanes = part.districts;
+    pcfg.threads = ctx.sim_threads;
+    pcfg.lookahead = core::city_partition_lookahead(part);
+    sim::ParSim par(pcfg);
+
+    struct District {
+      std::unique_ptr<core::CityScenario> sc;
+      std::unique_ptr<ran::UeCohort> cohort;
+    };
+    const sim::Time duration = 10 * kSecond;
+    std::vector<District> districts(static_cast<std::size_t>(part.districts));
+    for (int k = 0; k < part.districts; ++k) {
+      par.with_lane(k, [&, k] {
+        District& d = districts[static_cast<std::size_t>(k)];
+        const std::string tag = "district" + std::to_string(k);
+        d.sc = std::make_unique<core::CityScenario>(
+            sim::Rng(ctx.seed).fork(tag).seed(), part.district);
+        ran::CohortConfig ccfg;
+        ccfg.name = "chaos.d" + std::to_string(k);
+        ccfg.domain = k;
+        d.cohort = std::make_unique<ran::UeCohort>(
+            &d.sc->deployment(), ccfg, sim::Rng(ctx.seed).fork(tag + ".cohort"));
+        sim::Rng place = sim::Rng(ctx.seed).fork(tag + ".ues");
+        for (int i = 0; i < 4; ++i) {
+          d.cohort->add_route(
+              geo::make_waypoint_route(d.sc->campus(), place, 4), 1.4);
+        }
+        for (int i = 4; i < 30; ++i) {
+          d.cohort->add_stationary(d.sc->campus().random_point(place));
+        }
+        d.cohort->start(&par.lane(k), duration);
+      });
+    }
+    par.run_until(duration);
+    par.finish();
+
+    std::uint64_t sweeps = 0, handoffs = 0, a3 = 0;
+    for (const District& d : districts) {
+      sweeps += d.cohort->stats().sweeps;
+      handoffs += d.cohort->stats().handoffs;
+      a3 += d.cohort->stats().a3_triggers;
+    }
+    EXPECT_GT(sweeps, 0u);
+    *ctx.out << name() << ": sweeps=" << sweeps << " handoffs=" << handoffs
+             << " a3=" << a3 << " windows=" << par.windows() << "\n\n";
+    ctx.metric("sweeps", static_cast<double>(sweeps), "count");
+    ctx.metric("handoffs_total", static_cast<double>(handoffs), "count");
+    ctx.metric("a3_triggers", static_cast<double>(a3), "count");
+    ctx.metric("parsim_windows", static_cast<double>(par.windows()), "count");
+  }
+};
+
+TEST(ParSimChaosTest, FaultedPartitionedCityIsJobsAndSimThreadsDeterministic) {
+  core::ExperimentRegistry reg;
+  reg.add([] { return std::make_unique<PartitionedCityChaosExperiment>(); });
+
+  // Harvest a PCI that really exists in district 0 (same seed forks the
+  // experiment will draw), so the sector outage genuinely fires.
+  const std::uint64_t exp_seed = core::Runner::fork_seed(42, "par_city_chaos");
+  core::PartitionedCityConfig part;
+  part.district.width_m = 640.0;
+  part.district.height_m = 640.0;
+  part.district.grid.rings = 1;
+  const core::CityScenario probe(sim::Rng(exp_seed).fork("district0").seed(),
+                                 part.district);
+  ASSERT_FALSE(probe.deployment().cells(radio::Rat::kNr).empty());
+  const int pci = probe.deployment().cells(radio::Rat::kNr).front().pci;
+
+  auto plan = std::make_shared<fault::FaultPlan>();
+  plan->add(link_loss(kSecond, 3 * kSecond, 0.35));
+  fault::FaultSpec outage;
+  outage.kind = fault::FaultKind::kSectorOutage;
+  outage.begin = 3 * kSecond;
+  outage.end = 7 * kSecond;
+  outage.pci = pci;
+  plan->add(outage);
+  fault::FaultSpec hole;
+  hole.kind = fault::FaultKind::kCoverageHole;
+  hole.begin = 2 * kSecond;
+  hole.end = 8 * kSecond;
+  hole.offset_db = 30.0;
+  plan->add(hole);
+
+  core::RunnerOptions serial;
+  serial.jobs = 1;
+  serial.sim_threads = 1;
+  serial.seed = 42;
+  serial.faults = plan;
+  std::ostringstream ref;
+  core::write_json(core::Runner(serial, &reg).run(), ref,
+                   /*include_timing=*/false);
+
+  for (const auto& [jobs, st] : {std::pair{2, 2}, {1, 4}, {2, 1}}) {
+    core::RunnerOptions leg = serial;
+    leg.jobs = jobs;
+    leg.sim_threads = st;
+    std::ostringstream got;
+    core::write_json(core::Runner(leg, &reg).run(), got,
+                     /*include_timing=*/false);
+    EXPECT_EQ(ref.str(), got.str()) << "jobs=" << jobs << " st=" << st;
+  }
+
+  // The plan really changed the campaign: a fault-free run differs.
+  core::RunnerOptions clean = serial;
+  clean.faults = nullptr;
+  std::ostringstream jc;
+  core::write_json(core::Runner(clean, &reg).run(), jc,
+                   /*include_timing=*/false);
+  EXPECT_NE(ref.str(), jc.str());
 }
 
 // --- core: a faulted campaign is --jobs-deterministic ---

@@ -23,7 +23,8 @@ TEST(RegistryTest, AllExperimentsRegistered) {
       "aqm_bufferbloat",        "aqm_incast",
       "aqm_rtt_fairness",       "aqm_table3_mitigation",
       "city_grid_10k",          "city_grid_1k",
-      "city_grid_smoke",
+      "city_grid_smoke",        "city_par_100k",
+      "city_par_smoke",
       "dsl_replacement",        "ext_abr_video",
       "ext_cell_load",          "ext_codel_aqm",
       "ext_densification",      "ext_faststart_web",

@@ -11,6 +11,7 @@
 #   cmake -DRUNALL=<path-to-fiveg_runall> [-DREPORT=<path-to-fiveg_report>]
 #         [-DQUERY=<path-to-fiveg_query>]
 #         [-DFAULTS=<path-to-fault-plan.json>] [-DJOBS=<N;N;...>]
+#         [-DSIM_THREADS=<N;N;...>]
 #         -DWORK_DIR=<dir> -P runall_determinism.cmake
 #
 # FAULTS runs the whole campaign under the given fault plan; injected
@@ -19,6 +20,13 @@
 # identically (determinism is the contract under test, not KPI health).
 # JOBS lists the parallel worker counts compared against the serial run
 # (default: 8).
+# SIM_THREADS lists intra-experiment sim::ParSim worker counts: the leg
+# matrix becomes JOBS x SIM_THREADS, each leg passing --sim-threads
+# explicitly (explicit values are honored as given, so the threaded path
+# genuinely runs even on small hosts). Unset = the flag is omitted
+# everywhere, byte-compatible with older invocations. The serial baseline
+# always omits the flag, so a SIM_THREADS=1 leg additionally proves
+# explicit `--sim-threads 1` matches the default.
 # QUERY additionally gives every run its own --store directory and checks
 # that each store's fiveg_query JSON export is byte-identical to the run's
 # own --json document — i.e. the columnar round-trip is exact at every
@@ -37,14 +45,21 @@ if(FAULTS)
   list(APPEND common --faults ${FAULTS})
 endif()
 
+# Extra args beyond (side, jobs): an optional --sim-threads value.
 function(run_campaign side jobs)
+  set(st_args)
+  if(ARGN)
+    list(GET ARGN 0 st)
+    set(st_args --sim-threads ${st})
+  endif()
   set(store_args)
   if(QUERY)
     file(REMOVE_RECURSE ${WORK_DIR}/${side}_store)
     set(store_args --store ${WORK_DIR}/${side}_store)
   endif()
   execute_process(
-    COMMAND ${RUNALL} ${common} --jobs ${jobs} --json ${WORK_DIR}/${side}.json
+    COMMAND ${RUNALL} ${common} --jobs ${jobs} ${st_args}
+            --json ${WORK_DIR}/${side}.json
             --trace ${WORK_DIR}/${side}.trace.json ${store_args}
     OUTPUT_FILE ${WORK_DIR}/${side}.txt
     ERROR_VARIABLE run_err
@@ -84,9 +99,30 @@ if(QUERY)
   check_store_export(serial)
 endif()
 
+# Leg matrix: JOBS x SIM_THREADS, encoded "jobs:st" ("" st = flag omitted).
+set(legs)
 foreach(jobs ${JOBS})
+  if(SIM_THREADS)
+    foreach(st ${SIM_THREADS})
+      list(APPEND legs "${jobs}:${st}")
+    endforeach()
+  else()
+    list(APPEND legs "${jobs}:")
+  endif()
+endforeach()
+
+foreach(leg ${legs})
+  string(REPLACE ":" ";" leg_parts "${leg}")
+  list(GET leg_parts 0 jobs)
+  set(st_args)
   set(side parallel${jobs})
-  run_campaign(${side} ${jobs})
+  list(LENGTH leg_parts leg_len)
+  if(leg_len GREATER 1)
+    list(GET leg_parts 1 st)
+    set(st_args ${st})
+    set(side parallel${jobs}st${st})
+  endif()
+  run_campaign(${side} ${jobs} ${st_args})
   if(NOT ${side}_rc EQUAL ${serial_rc})
     message(FATAL_ERROR
             "--jobs ${jobs} exit code ${${side}_rc} differs from "
@@ -111,8 +147,16 @@ foreach(jobs ${JOBS})
 endforeach()
 
 if(REPORT)
-  list(GET JOBS 0 first_jobs)
-  set(sides serial parallel${first_jobs})
+  list(GET legs 0 first_leg)
+  string(REPLACE ":" ";" first_parts "${first_leg}")
+  list(GET first_parts 0 first_jobs)
+  set(first_side parallel${first_jobs})
+  list(LENGTH first_parts first_len)
+  if(first_len GREATER 1)
+    list(GET first_parts 1 first_st)
+    set(first_side parallel${first_jobs}st${first_st})
+  endif()
+  set(sides serial ${first_side})
   foreach(side ${sides})
     execute_process(
       COMMAND ${REPORT} --in ${WORK_DIR}/${side}.json
@@ -135,7 +179,7 @@ if(REPORT)
     execute_process(
       COMMAND ${CMAKE_COMMAND} -E compare_files
               ${WORK_DIR}/serial_report/${f}
-              ${WORK_DIR}/parallel${first_jobs}_report/${f}
+              ${WORK_DIR}/${first_side}_report/${f}
       RESULT_VARIABLE report_diff)
     if(NOT report_diff EQUAL 0)
       message(FATAL_ERROR

@@ -229,7 +229,6 @@ CrossEventId ParSim::send(int to_lane, Time at, const char* label,
   if (to_lane != kControlLane && (to_lane < 0 || to_lane >= lanes())) {
     throw std::out_of_range("parsim: send target lane out of range");
   }
-  ++cross_sends_;
   if (tls_lane.staging && tls_lane.owner == this) {
     Lane& src = *tls_lane.lane;
     const Time horizon = saturating_add(src.sim->now(), config_.lookahead);
@@ -263,7 +262,6 @@ CrossEventId ParSim::send(int to_lane, Time at, const char* label,
 }
 
 void ParSim::cancel(const CrossEventId& id) {
-  ++cross_cancels_;
   if (tls_lane.staging && tls_lane.owner == this) {
     Lane& src = *tls_lane.lane;
     src.cancels.push_back(Lane::StagedCancel{++src.cancel_seq, id});
@@ -273,6 +271,7 @@ void ParSim::cancel(const CrossEventId& id) {
     throw std::logic_error(
         "parsim: cancel() from a lane of a different ParSim");
   }
+  ++control_cancels_;
   const auto it = resolved_.find({id.src_lane, id.ticket});
   if (it == resolved_.end()) return;  // unknown / already cancelled
   Simulator& target =
@@ -521,8 +520,19 @@ void ParSim::finish() {
         ->counter(obs::prof::kHeapAllocMetric, obs::MetricClock::kWall)
         .add(heap);
     // Deterministic structure counters (identical for any thread count).
+    // Cross-lane traffic is summed from the per-lane ticket counters —
+    // each mutated only by the thread that ran the lane's window — plus
+    // the control thread's, so no shared counter is touched inside a
+    // window.
+    std::uint64_t cross_sends = control_send_seq_;
+    std::uint64_t cross_cancels = control_cancels_;
+    for (const auto& lane : lanes_) {
+      cross_sends += lane->send_seq;
+      cross_cancels += lane->cancel_seq;
+    }
     parent_metrics_->counter("sim.parsim.windows").add(windows_);
-    parent_metrics_->counter("sim.parsim.cross_sends").add(cross_sends_);
+    parent_metrics_->counter("sim.parsim.cross_sends").add(cross_sends);
+    parent_metrics_->counter("sim.parsim.cross_cancels").add(cross_cancels);
     parent_metrics_
         ->gauge("sim.parsim.threads", obs::MetricClock::kWall)
         .set(static_cast<double>(effective_threads_));

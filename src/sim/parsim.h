@@ -156,9 +156,12 @@ class ParSim {
   ParSimConfig config_;
   int effective_threads_ = 1;
   std::uint64_t windows_ = 0;
-  std::uint64_t cross_sends_ = 0;
-  std::uint64_t cross_cancels_ = 0;
   std::uint64_t control_heap_allocs_ = 0;
+  // Cancels issued from the serial region (control thread only). Staged
+  // sends/cancels are counted on their Lane (send_seq / cancel_seq, each
+  // mutated only by the thread running that lane's window) and the totals
+  // are summed race-free in finish(); direct sends reuse control_send_seq_.
+  std::uint64_t control_cancels_ = 0;
   bool finished_ = false;
 
   // Parent context captured at construction (all may be null).
